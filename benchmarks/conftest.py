@@ -1,0 +1,51 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it, and writes it under ``benchmarks/results/`` so the full
+regenerated evaluation is inspectable after a run:
+
+    pytest benchmarks/ --benchmark-only
+
+``REPRO_BENCH_SCALE`` (default 8) divides all sizes; scale 1 is the
+paper-sized (slow) run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Size divisor for benchmark runs.
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "8"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    """The scale divisor benchmarks run at."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist and print a regenerated figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(figure_result, note: str = "") -> None:
+        text = figure_result.rendered
+        if note:
+            text = f"{text}\n{note}"
+        (RESULTS_DIR / f"{figure_result.figure_id}.txt").write_text(
+            text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run a regeneration exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,18 @@
+"""Legacy setup shim for offline editable installs (no wheel package)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'VSwapper: A Memory Swapper for Virtualized "
+        "Environments' (ASPLOS 2014) as a full-system simulation"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": ["vswapper-repro = repro.cli:main"],
+    },
+)

@@ -1,0 +1,19 @@
+"""Host-side balloon management (MOM-like).
+
+The paper's dynamic experiments (Section 5.2) drive balloons with MOM,
+"a host daemon which collects host and guest OS statistics and
+dynamically inflates and deflates the guest memory balloons".  This
+package reproduces that control loop -- including its essential flaw
+under changing load: it reacts on a polling cadence and moves memory
+at a bounded rate, so demand spikes land on uncooperative swapping.
+"""
+
+from repro.balloon.policy import BalloonPolicy, PolicyDecision
+from repro.balloon.manager import BalloonManager, ManagerConfig
+
+__all__ = [
+    "BalloonPolicy",
+    "PolicyDecision",
+    "BalloonManager",
+    "ManagerConfig",
+]

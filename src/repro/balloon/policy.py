@@ -1,0 +1,166 @@
+"""Balloon sizing policies.
+
+The default :class:`BalloonPolicy` mirrors MOM's rule style: it watches
+*pressure signals* (host reclaim activity, guest free memory) and nudges
+balloon targets by bounded increments.  That reactive, increment-based
+control is exactly why ballooning trails changing demand (paper Section
+2.3): by the time a spike is visible in the statistics, the host has
+already fallen back on uncooperative swapping.
+
+:class:`ProportionalSharePolicy` is an idealized alternative that
+divides host memory in proportion to current demand -- useful as an
+upper-bound ablation for how much better a clairvoyant manager would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GuestObservation:
+    """Per-guest statistics a manager can actually observe."""
+
+    #: ``memory_stats()`` snapshot from the guest.
+    stats: dict[str, int]
+    #: Guest-swap activity since the last poll (sectors + faults).
+    guest_swap_activity: int
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Balloon targets (pages) per VM index, plus diagnostics."""
+
+    targets: dict[int, int]
+    host_pressure: bool
+    total_demand: int
+
+
+class BalloonPolicy:
+    """MOM-like reactive policy.
+
+    * Host pressure (uncooperative evictions observed since the last
+      poll) => inflate the balloons of guests with idle memory.
+    * Guest pressure (low free memory or recent guest swapping)
+      => deflate that guest's balloon.
+    * Balloons never exceed the classic 65 % bound the paper cites for
+      ESX, and moves are bounded per tick.
+    """
+
+    def __init__(
+        self,
+        *,
+        balloon_max_fraction: float = 0.65,
+        inflate_step_fraction: float = 0.08,
+        deflate_step_fraction: float = 0.10,
+        guest_free_low_fraction: float = 0.06,
+        host_pressure_evictions: int = 256,
+        guest_swap_activity_threshold: int = 64,
+    ) -> None:
+        if not 0.0 <= balloon_max_fraction <= 1.0:
+            raise ConfigError("balloon_max_fraction must be in [0, 1]")
+        if inflate_step_fraction <= 0 or deflate_step_fraction <= 0:
+            raise ConfigError("step fractions must be positive")
+        self.balloon_max_fraction = balloon_max_fraction
+        self.inflate_step_fraction = inflate_step_fraction
+        self.deflate_step_fraction = deflate_step_fraction
+        self.guest_free_low_fraction = guest_free_low_fraction
+        self.host_pressure_evictions = host_pressure_evictions
+        self.guest_swap_activity_threshold = guest_swap_activity_threshold
+
+    def decide(
+        self,
+        observations: dict[int, GuestObservation],
+        host_evictions_since_last: int,
+    ) -> PolicyDecision:
+        """Compute new balloon targets from observable pressure."""
+        host_pressure = (
+            host_evictions_since_last >= self.host_pressure_evictions)
+        targets: dict[int, int] = {}
+        total_demand = 0
+        for vm_id, obs in observations.items():
+            stats = obs.stats
+            total = stats["total"]
+            balloon = stats["pinned"]
+            free = stats["free"]
+            idle = free + stats["cache_clean"]
+            total_demand += total - idle
+            guest_pressure = (
+                free < total * self.guest_free_low_fraction
+                or obs.guest_swap_activity
+                >= self.guest_swap_activity_threshold)
+
+            target = balloon
+            if guest_pressure:
+                target = balloon - int(total * self.deflate_step_fraction)
+            elif host_pressure and idle > 0:
+                step = min(int(total * self.inflate_step_fraction),
+                           max(0, idle - total // 50))
+                target = balloon + step
+            target = max(0, min(target,
+                                int(total * self.balloon_max_fraction)))
+            targets[vm_id] = target
+        return PolicyDecision(targets, host_pressure, total_demand)
+
+
+class ProportionalSharePolicy:
+    """Idealized demand-proportional division (ablation baseline).
+
+    Splits host capacity across guests in proportion to committed
+    memory -- what a manager with instant, perfect knowledge would do.
+    """
+
+    def __init__(
+        self,
+        *,
+        headroom_fraction: float = 0.08,
+        balloon_max_fraction: float = 0.65,
+        host_reserve_pages: int = 0,
+        host_capacity_pages: int = 0,
+    ) -> None:
+        if headroom_fraction < 0:
+            raise ConfigError("headroom must be non-negative")
+        if not 0.0 <= balloon_max_fraction <= 1.0:
+            raise ConfigError("balloon_max_fraction must be in [0, 1]")
+        if host_capacity_pages <= 0:
+            raise ConfigError("host_capacity_pages must be provided")
+        self.headroom_fraction = headroom_fraction
+        self.balloon_max_fraction = balloon_max_fraction
+        self.host_reserve_pages = host_reserve_pages
+        self.host_capacity_pages = host_capacity_pages
+
+    def demand_of(self, stats: dict[str, int]) -> int:
+        """Estimated pages the guest currently wants resident."""
+        committed = (stats["kernel_reserve"] + stats["anon_resident"]
+                     + stats["cache_clean"] + stats["cache_dirty"])
+        demand = int(committed * (1.0 + self.headroom_fraction))
+        return min(demand, stats["total"])
+
+    def decide(
+        self,
+        observations: dict[int, GuestObservation],
+        host_evictions_since_last: int,
+    ) -> PolicyDecision:
+        del host_evictions_since_last  # clairvoyant: pressure-independent
+        capacity = max(
+            0, self.host_capacity_pages - self.host_reserve_pages)
+        demands = {
+            vm_id: self.demand_of(obs.stats)
+            for vm_id, obs in observations.items()
+        }
+        total_demand = sum(demands.values())
+        oversubscribed = total_demand > capacity
+        targets: dict[int, int] = {}
+        for vm_id, obs in observations.items():
+            total = obs.stats["total"]
+            demand = demands[vm_id]
+            if oversubscribed and total_demand > 0:
+                granted = int(demand * capacity / total_demand)
+            else:
+                granted = demand
+            balloon = total - granted
+            balloon_max = int(total * self.balloon_max_fraction)
+            targets[vm_id] = max(0, min(balloon, balloon_max))
+        return PolicyDecision(targets, oversubscribed, total_demand)

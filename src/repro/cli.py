@@ -1,0 +1,84 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples::
+
+    vswapper-repro list
+    vswapper-repro run fig3 --scale 4
+    vswapper-repro run all --scale 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.experiments.registry import experiment_ids, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="vswapper-repro",
+        description=(
+            "Reproduction of 'VSwapper: A Memory Swapper for Virtualized "
+            "Environments' (ASPLOS 2014) -- regenerate the paper's "
+            "evaluation from a full-system simulation."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all'")
+    run.add_argument(
+        "--scale", type=int, default=4,
+        help="size divisor: 1 = paper-sized (slow), 4-8 = laptop-sized "
+             "(default: 4)")
+    return parser
+
+
+def _run_one(experiment_id: str, scale: int) -> None:
+    from repro.experiments.plots import chart_for
+
+    started = time.time()
+    result = run_experiment(experiment_id, scale=scale)
+    elapsed = time.time() - started
+    print(result.rendered)
+    chart = chart_for(result)
+    if chart:
+        print()
+        print(chart)
+    print(f"[{experiment_id}: regenerated in {elapsed:.1f}s wall time]")
+    print()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+
+    try:
+        if args.experiment == "all":
+            for experiment_id in experiment_ids():
+                _run_one(experiment_id, args.scale)
+        else:
+            _run_one(args.experiment, args.scale)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

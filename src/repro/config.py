@@ -1,0 +1,286 @@
+"""Configuration dataclasses for machines, guests, and VSwapper.
+
+Every tunable of the simulation lives here, with defaults calibrated so
+that plentiful-memory runtimes land near the paper's testbed numbers
+(Dell R420, 7200 RPM disk).  Experiments construct these explicitly, so
+a figure's parameters are always visible in its harness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.units import USEC, mib_pages
+
+
+class GuestOsKind(enum.Enum):
+    """Guest operating-system profile (Section 5.4 runs Windows too)."""
+
+    LINUX = "linux"
+    WINDOWS = "windows"
+
+
+class HypervisorKind(enum.Enum):
+    """Host profile: KVM-like (default) or the VMware-like profile used
+    to reproduce Table 2."""
+
+    KVM = "kvm"
+    VMWARE = "vmware"
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Physical disk characteristics (HDD by default, SSD for ablation)."""
+
+    kind: str = "hdd"
+    bandwidth_bytes_per_sec: float = 120e6
+    seek_min: float = 0.5e-3
+    seek_max: float = 9.5e-3
+    rpm: float = 7200.0
+    #: Effective average rotational latency as a fraction of one
+    #: revolution (queued I/O + elevator amortize the naive half turn).
+    rotation_fraction: float = 0.20
+    per_request_overhead: float = 50e-6
+    #: Async writers stall until the device backlog drains below this
+    #: (write-back / dirty throttling).
+    max_write_backlog_seconds: float = 0.25
+    #: SSD-only parameters.
+    ssd_read_latency: float = 80e-6
+    ssd_write_latency: float = 250e-6
+
+    def validate(self) -> None:
+        if self.kind not in ("hdd", "ssd"):
+            raise ConfigError(f"unknown disk kind: {self.kind!r}")
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ConfigError("disk bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Hypervisor/host-kernel parameters."""
+
+    #: Physical frames available to guests (host reserve already taken).
+    total_memory_pages: int = mib_pages(16 * 1024)
+    #: Host swap partition size.
+    swap_size_pages: int = mib_pages(16 * 1024)
+    #: Linux ``page-cluster``-style swap readahead (pages per fault).
+    swap_cluster_pages: int = 8
+    #: Readahead window when the Mapper refaults from the disk image.
+    image_readahead_pages: int = 32
+    #: Victims reclaimed per pressure episode (SWAP_CLUSTER_MAX-like).
+    reclaim_batch_pages: int = 32
+    #: Swap-out writes are buffered (the page sits in the swap cache)
+    #: and flushed to disk in batches of this many pages, mirroring how
+    #: write-back coalesces swap traffic into large requests.
+    swap_writeback_batch_pages: int = 256
+    #: Fraction of each reclaim batch drawn from the named-page list.
+    named_fraction: float = 0.75
+    #: CPU cost of servicing one EPT violation (exit + map).
+    ept_fault_cost: float = 4 * USEC
+    #: CPU cost of a COW break exit on a Mapper-tracked page (5.3).
+    cow_exit_cost: float = 6 * USEC
+    #: Extra per-page cost of the Mapper's mmap-based virtio read path
+    #: versus plain preadv (5.3 attributes its ~3.5% overhead to this).
+    mmap_page_cost: float = 2.5 * USEC
+    #: Resident footprint of the hypervisor (QEMU) executable per VM.
+    hypervisor_code_pages: int = 192
+    #: Code pages touched when QEMU services one virtual I/O request.
+    code_pages_per_io: int = 16
+    #: Code pages touched per guest-fault episode (timer ticks, exits).
+    code_pages_per_fault: int = 2
+    #: Readahead used when faulting hypervisor code pages back in.
+    code_readahead_pages: int = 8
+    #: Probability a reclaimed QEMU code page is still in the host page
+    #: cache when refaulted (the binary is shared with other processes),
+    #: making the refault minor instead of a disk read.
+    code_cache_hit_rate: float = 0.97
+    #: CPU cost of a minor fault (page present in host cache).
+    minor_fault_cost: float = 3 * USEC
+    #: Referenced-bit sampling noise of the reclaim clock: probability
+    #: an eviction candidate gets an extra rotation.  This models the
+    #: aggregate disorder of real LRU approximation (active/inactive
+    #: promotions, timing) and is the seed of *decayed swap
+    #: sequentiality* -- with zero noise the simulation stays in
+    #: deterministic lockstep and slot order never degrades.
+    reclaim_noise: float = 0.06
+    #: KVM asynchronous page faults: guests with spare threads overlap
+    #: host swap-in stalls (Section 5.1, pbzip2).
+    async_page_faults: bool = True
+    #: Which hypervisor profile this host models.
+    kind: HypervisorKind = HypervisorKind.KVM
+    #: Ablation: model a hardware dirty bit for guest pages (the
+    #: paper's Haswell discussion) letting the host skip rewriting
+    #: swap-clean pages.
+    hardware_dirty_bit: bool = False
+
+    def validate(self) -> None:
+        if self.total_memory_pages <= 0:
+            raise ConfigError("host memory must be positive")
+        if self.swap_cluster_pages <= 0:
+            raise ConfigError("swap cluster must be positive")
+        if not 0.0 <= self.named_fraction <= 1.0:
+            raise ConfigError("named_fraction must be within [0, 1]")
+        if self.reclaim_batch_pages <= 0:
+            raise ConfigError("reclaim batch must be positive")
+        if not 0.0 <= self.code_cache_hit_rate <= 1.0:
+            raise ConfigError("code_cache_hit_rate must be within [0, 1]")
+        if not 0.0 <= self.reclaim_noise <= 1.0:
+            raise ConfigError("reclaim_noise must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class GuestConfig:
+    """Guest kernel parameters (what the guest *believes* it has)."""
+
+    memory_pages: int = mib_pages(512)
+    os_kind: GuestOsKind = GuestOsKind.LINUX
+    #: Guest file readahead window (pages).
+    readahead_pages: int = 32
+    #: Reclaim kicks in below this many free pages...
+    free_min_pages: int = 0  # 0 -> derived (2% of memory)
+    #: ...and restores free memory up to this level.
+    free_target_pages: int = 0  # 0 -> derived (4% of memory)
+    #: Dirty page-cache pages allowed before background write-back.
+    dirty_threshold_fraction: float = 0.10
+    #: Guest swap device capacity (area inside the virtual disk).
+    guest_swap_pages: int = mib_pages(1024)
+    #: Pages the guest kernel itself needs to stay alive.
+    kernel_reserve_pages: int = mib_pages(16)
+    #: CPU cost of zeroing one page on allocation.
+    zero_page_cost: float = 1.0 * USEC
+    #: CPU cost of copying one page (COW, pipes).
+    copy_page_cost: float = 1.2 * USEC
+    #: Page-allocator scramble window: a fresh page is drawn uniformly
+    #: from the last this-many free-list entries, modelling buddy
+    #: coalescing/splitting disorder.  1 = strict LIFO.  The disorder
+    #: decides how scattered recycled (host-swapped) frames are, i.e.
+    #: how badly stale/false reads defeat host swap readahead.
+    allocator_window: int = 64
+    #: Windows-profile: background thread zeroes free-list pages,
+    #: which is a whole-page overwrite (a false-read generator).
+    zero_free_pages: bool = False
+    #: Fraction of virtual I/O issued below 4 KiB alignment; the Mapper
+    #: cannot track those transfers (Section 5.4's Windows caveat).
+    unaligned_io_fraction: float = 0.0
+    #: Fraction of the guest's own reclaim drawn from named pages.
+    named_fraction: float = 0.75
+
+    def validate(self) -> None:
+        if self.memory_pages <= 0:
+            raise ConfigError("guest memory must be positive")
+        if not 0.0 <= self.unaligned_io_fraction <= 1.0:
+            raise ConfigError("unaligned_io_fraction must be in [0, 1]")
+
+    @property
+    def derived_free_min(self) -> int:
+        """Low watermark triggering guest reclaim."""
+        return self.free_min_pages or max(64, self.memory_pages // 50)
+
+    @property
+    def derived_free_target(self) -> int:
+        """High watermark guest reclaim restores."""
+        return self.free_target_pages or max(128, self.memory_pages // 25)
+
+
+@dataclass(frozen=True)
+class VSwapperConfig:
+    """Configuration of the paper's two mechanisms (Section 4)."""
+
+    enable_mapper: bool = False
+    enable_preventer: bool = False
+    #: Emulation window: give up this long after a page's first
+    #: emulated write (the paper's empirically chosen 1 ms).
+    preventer_window: float = 1e-3
+    #: Concurrent pages under emulation (the paper's 32).
+    preventer_max_pages: int = 32
+    #: CPU cost of emulating the writes that fill one page.
+    emulation_page_cost: float = 12 * USEC
+    #: Recognize REP-prefixed whole-page writes outright and skip
+    #: byte-by-byte emulation (Section 4.2, last paragraph).
+    rep_prefix_detection: bool = True
+
+    def validate(self) -> None:
+        if self.preventer_window <= 0:
+            raise ConfigError("preventer window must be positive")
+        if self.preventer_max_pages <= 0:
+            raise ConfigError("preventer page cap must be positive")
+
+    @staticmethod
+    def off() -> "VSwapperConfig":
+        """Baseline: no VSwapper mechanism active."""
+        return VSwapperConfig()
+
+    @staticmethod
+    def mapper_only() -> "VSwapperConfig":
+        """The paper's "mapper" configuration."""
+        return VSwapperConfig(enable_mapper=True)
+
+    @staticmethod
+    def full() -> "VSwapperConfig":
+        """The paper's "vswapper" configuration (Mapper + Preventer)."""
+        return VSwapperConfig(enable_mapper=True, enable_preventer=True)
+
+
+@dataclass(frozen=True)
+class VmConfig:
+    """One virtual machine: guest, image, limits, VSwapper state."""
+
+    name: str = "vm0"
+    guest: GuestConfig = field(default_factory=GuestConfig)
+    vswapper: VSwapperConfig = field(default_factory=VSwapperConfig)
+    #: Virtual disk image size.
+    image_size_pages: int = mib_pages(20 * 1024)
+    #: cgroup-style cap on the VM's host-resident pages (None = only
+    #: global pressure applies).
+    resident_limit_pages: int | None = None
+    #: Statically inflated balloon (controlled experiments).  None means
+    #: no balloon; a manager may still drive the balloon dynamically.
+    static_balloon_pages: int | None = None
+    #: Number of vCPUs (drives async-fault overlap potential).
+    vcpus: int = 1
+
+    def validate(self) -> None:
+        self.guest.validate()
+        self.vswapper.validate()
+        if self.image_size_pages <= self.guest.guest_swap_pages:
+            raise ConfigError("image must be larger than the guest swap area")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The whole physical host."""
+
+    host: HostConfig = field(default_factory=HostConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    seed: int = 1
+
+    def validate(self) -> None:
+        self.host.validate()
+        self.disk.validate()
+
+
+def scaled_pages(pages: int, scale: int) -> int:
+    """Divide a page count by the experiment scale factor (min 1 page).
+
+    Benchmarks run at ``scale`` 4--8 to keep wall-clock time sane; the
+    CLI can rerun any experiment at ``scale=1`` (paper-sized).
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive: {scale}")
+    return max(1, pages // scale)
+
+
+__all__ = [
+    "DiskConfig",
+    "GuestConfig",
+    "GuestOsKind",
+    "HostConfig",
+    "HypervisorKind",
+    "MachineConfig",
+    "VSwapperConfig",
+    "VmConfig",
+    "replace",
+    "scaled_pages",
+]

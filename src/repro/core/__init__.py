@@ -1,0 +1,31 @@
+"""VSwapper: the paper's contribution (Section 4).
+
+Two guest-agnostic mechanisms grafted onto the hypervisor:
+
+* :class:`repro.core.mapper.SwapMapper` -- tracks which guest pages are
+  byte-identical to which virtual-disk blocks by interposing on virtual
+  I/O, letting host reclaim *discard* instead of swap and refault from
+  the (sequential) image instead of the (decayed) swap area.
+* :class:`repro.core.preventer.FalseReadsPreventer` -- buffers guest
+  writes to swapped-out pages, eliminating the read when the whole page
+  is overwritten.
+
+Both classes are pure bookkeeping + policy; every frame and disk
+manipulation stays in :mod:`repro.host.hypervisor`, mirroring how the
+real implementation splits QEMU/kernel responsibilities (paper Table 1).
+"""
+
+from repro.core.mapper import SwapMapper
+from repro.core.migration import MigrationPlan, MigrationPlanner
+from repro.core.preventer import EmulatedPage, FalseReadsPreventer, OverwriteVerdict
+from repro.core.vswapper import VSwapper
+
+__all__ = [
+    "SwapMapper",
+    "FalseReadsPreventer",
+    "EmulatedPage",
+    "OverwriteVerdict",
+    "VSwapper",
+    "MigrationPlan",
+    "MigrationPlanner",
+]

@@ -1,0 +1,170 @@
+"""The Swap Mapper (paper Section 4.1).
+
+Maintains the guest-page <-> disk-block association for pages whose
+bytes are identical to their backing block.  The association is built
+by interposing on virtual disk I/O (reads map after the DMA fills the
+page; writes map after the data reaches the disk) and is severed by:
+
+* a guest CPU store to the page (the mmap "private mapping" COW),
+* ordinary I/O overwriting the backing block (consistency
+  invalidation -- the paper's modified ``open`` flag), or
+* the balloon pinning the page.
+
+While associated, the page is *named* from the host's point of view:
+reclaim discards it instead of writing swap, and a later fault re-reads
+it from the image with sequential readahead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConsistencyError
+
+
+class TrackState(enum.Enum):
+    """Residency of a tracked page."""
+
+    RESIDENT = "resident"
+    DISCARDED = "discarded"
+
+
+#: Host metadata bytes per tracked mapping.  The paper measures 200
+#: bytes per vm_area_struct-based association (Section 5.3).
+METADATA_BYTES_PER_PAGE = 200
+
+
+@dataclass
+class Association:
+    """One gpa <-> block link and its residency."""
+
+    gpa: int
+    block: int
+    state: TrackState
+
+
+class SwapMapper:
+    """Tracking state for one VM."""
+
+    def __init__(self) -> None:
+        self._by_gpa: dict[int, Association] = {}
+        self._by_block: dict[int, Association] = {}
+        self.peak_tracked = 0
+
+    # ------------------------------------------------------------------
+    # building and breaking associations
+    # ------------------------------------------------------------------
+
+    def track(self, gpa: int, block: int) -> None:
+        """Associate ``gpa`` with ``block`` (page is resident and clean).
+
+        Latest-wins on both keys: a page can only match one block and a
+        block is only claimed by the most recent page that read it.
+        """
+        self.drop_gpa(gpa)
+        old = self._by_block.pop(block, None)
+        if old is not None:
+            del self._by_gpa[old.gpa]
+        assoc = Association(gpa, block, TrackState.RESIDENT)
+        self._by_gpa[gpa] = assoc
+        self._by_block[block] = assoc
+        self.peak_tracked = max(self.peak_tracked, len(self._by_gpa))
+
+    def drop_gpa(self, gpa: int) -> bool:
+        """Remove any association of ``gpa``; True if one existed."""
+        assoc = self._by_gpa.pop(gpa, None)
+        if assoc is None:
+            return False
+        del self._by_block[assoc.block]
+        return True
+
+    def break_cow(self, gpa: int) -> bool:
+        """Guest store hit a tracked resident page: sever the link.
+
+        Returns True when a link existed (the caller charges the COW
+        exit cost and reclassifies the page as anonymous).
+        """
+        assoc = self._by_gpa.get(gpa)
+        if assoc is None:
+            return False
+        if assoc.state is not TrackState.RESIDENT:
+            raise ConsistencyError(
+                f"guest store reached non-resident tracked page {gpa:#x}")
+        return self.drop_gpa(gpa)
+
+    # ------------------------------------------------------------------
+    # reclaim / refault transitions
+    # ------------------------------------------------------------------
+
+    def mark_discarded(self, gpa: int) -> int:
+        """Reclaim discarded the page; returns its backing block."""
+        assoc = self._require(gpa)
+        if assoc.state is TrackState.DISCARDED:
+            raise ConsistencyError(f"double discard of page {gpa:#x}")
+        assoc.state = TrackState.DISCARDED
+        return assoc.block
+
+    def mark_refaulted(self, gpa: int) -> int:
+        """A discarded page was re-read from the image; now resident."""
+        assoc = self._require(gpa)
+        if assoc.state is not TrackState.DISCARDED:
+            raise ConsistencyError(
+                f"refault of page {gpa:#x} that was not discarded")
+        assoc.state = TrackState.RESIDENT
+        return assoc.block
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def is_tracked(self, gpa: int) -> bool:
+        """Whether ``gpa`` has any association."""
+        return gpa in self._by_gpa
+
+    def is_tracked_resident(self, gpa: int) -> bool:
+        """Tracked and currently in memory."""
+        assoc = self._by_gpa.get(gpa)
+        return assoc is not None and assoc.state is TrackState.RESIDENT
+
+    def is_discarded(self, gpa: int) -> bool:
+        """Tracked but discarded (recoverable only from the image)."""
+        assoc = self._by_gpa.get(gpa)
+        return assoc is not None and assoc.state is TrackState.DISCARDED
+
+    def block_of(self, gpa: int) -> int:
+        """Backing block of a tracked page."""
+        return self._require(gpa).block
+
+    def owner_of_block(self, block: int) -> Association | None:
+        """The association claiming ``block``, if any."""
+        return self._by_block.get(block)
+
+    def discarded_gpa_for_block(self, block: int) -> int | None:
+        """GPA of the *discarded* page backed by ``block`` (readahead)."""
+        assoc = self._by_block.get(block)
+        if assoc is not None and assoc.state is TrackState.DISCARDED:
+            return assoc.gpa
+        return None
+
+    @property
+    def tracked_pages(self) -> int:
+        """All associations, resident or discarded (Figure 15 gauge)."""
+        return len(self._by_gpa)
+
+    @property
+    def tracked_resident_pages(self) -> int:
+        """Resident tracked pages only."""
+        return sum(1 for a in self._by_gpa.values()
+                   if a.state is TrackState.RESIDENT)
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Host metadata footprint (Section 5.3 reports <= 14 MB)."""
+        return METADATA_BYTES_PER_PAGE * len(self._by_gpa)
+
+    def _require(self, gpa: int) -> Association:
+        assoc = self._by_gpa.get(gpa)
+        if assoc is None:
+            raise ConsistencyError(f"page {gpa:#x} is not tracked")
+        return assoc

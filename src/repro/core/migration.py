@@ -1,0 +1,114 @@
+"""Live-migration traffic planning (paper Section 7, future work).
+
+The paper suggests VSwapper's techniques "may be used to enhance live
+migration of guests and reduce the migration time and network traffic
+by avoiding the transfer of free and clean guest pages": a hypervisor
+that knows which guest pages equal which disk-image blocks can migrate
+*mappings* (a few bytes each) instead of page contents, and the target
+can refill them from shared storage.
+
+:class:`MigrationPlanner` turns a VM's current state into that
+accounting.  A baseline hypervisor must ship every page it cannot prove
+empty; a Mapper-equipped one ships only genuinely private bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.mapper import METADATA_BYTES_PER_PAGE
+from repro.mem.page import ZERO
+from repro.units import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import
+    # cycle: host.vm composes core.vswapper)
+    from repro.host.vm import Vm
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Byte accounting for migrating one VM's memory."""
+
+    #: Pages whose full contents must cross the wire either way
+    #: (dirty/anonymous data).
+    private_pages: int
+    #: Pages a Mapper-equipped source ships as disk-block references.
+    mapped_pages: int
+    #: Tracked-but-discarded pages: the reference is all that exists.
+    discarded_pages: int
+    #: Host-swapped pages: the baseline reads them back from swap just
+    #: to ship them.
+    swapped_private_pages: int
+    #: All-zero pages (both sides skip these; KVM detects zeros).
+    zero_pages: int
+
+    @property
+    def baseline_bytes(self) -> int:
+        """Traffic for a hypervisor without mapping knowledge.
+
+        Everything that holds (or may hold) data travels in full:
+        private resident pages, swapped pages, and tracked pages --
+        the baseline cannot tell the latter are clean file content.
+        """
+        pages = (self.private_pages + self.swapped_private_pages
+                 + self.mapped_pages + self.discarded_pages)
+        return pages * PAGE_SIZE
+
+    @property
+    def vswapper_bytes(self) -> int:
+        """Traffic when mappings replace clean file-backed contents."""
+        data = (self.private_pages + self.swapped_private_pages) * PAGE_SIZE
+        references = (self.mapped_pages + self.discarded_pages) \
+            * METADATA_BYTES_PER_PAGE
+        return data + references
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of baseline traffic the Mapper knowledge removes."""
+        baseline = self.baseline_bytes
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.vswapper_bytes / baseline
+
+
+class MigrationPlanner:
+    """Builds a :class:`MigrationPlan` from live VM state."""
+
+    def plan(self, vm: "Vm") -> MigrationPlan:
+        """Account for every guest page that holds state right now."""
+        mapper = vm.mapper
+        private = 0
+        mapped = 0
+        discarded = 0
+        zero = 0
+
+        for gpa in vm.ept.present_gpas():
+            content = vm.content_of(gpa)
+            if content is ZERO:
+                zero += 1
+            elif mapper is not None and mapper.is_tracked_resident(gpa):
+                mapped += 1
+            else:
+                private += 1
+
+        swapped_private = 0
+        for gpa in vm.swap_slots:
+            if vm.content_of(gpa) is ZERO:
+                zero += 1
+            else:
+                swapped_private += 1
+
+        if mapper is not None:
+            # Discarded tracked pages are not EPT-present and hold no
+            # swap slot; only the association exists.
+            discarded = (mapper.tracked_pages
+                         - mapper.tracked_resident_pages)
+
+        return MigrationPlan(
+            private_pages=private,
+            mapped_pages=mapped,
+            discarded_pages=discarded,
+            swapped_private_pages=swapped_private,
+            zero_pages=zero,
+        )

@@ -1,0 +1,131 @@
+"""The False Reads Preventer (paper Section 4.2).
+
+When the guest writes to a swapped-out page, the Preventer emulates the
+write into a page-sized buffer instead of faulting the old content in.
+If the whole page is overwritten, the buffer is remapped as the page
+and the disk read is elided.  Emulation is abandoned -- and the old
+content read and merged -- when:
+
+* the write pattern is not sequential,
+* a window (the paper's empirically chosen 1 ms) elapses after the
+  page's first emulated write, or
+* more than a cap (the paper's 32) of pages are under emulation.
+
+``REP``-prefixed whole-page writes are recognized outright and skip
+byte-granular emulation entirely (the paper's short-circuit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import VSwapperConfig
+from repro.sim.ops import WritePattern
+
+
+class OverwriteVerdict(enum.Enum):
+    """What the Preventer decided about one overwrite event."""
+
+    #: Whole page buffered; promote the buffer, no disk read needed.
+    REMAP = "remap"
+    #: Partial write buffered; old content will be read asynchronously
+    #: and merged when the window expires.
+    BUFFERED = "buffered"
+    #: Not emulatable (scattered pattern or cap exceeded); the caller
+    #: must fault the old content in synchronously.
+    FALLBACK = "fallback"
+
+
+@dataclass
+class EmulatedPage:
+    """State of one page under write emulation."""
+
+    gpa: int
+    first_write_time: float
+    bytes_buffered: int = 0
+    sequential: bool = True
+
+
+class FalseReadsPreventer:
+    """Emulation bookkeeping for one VM."""
+
+    def __init__(self, config: VSwapperConfig) -> None:
+        self.cfg = config
+        self._emulated: dict[int, EmulatedPage] = {}
+
+    @property
+    def pages_under_emulation(self) -> int:
+        """Pages currently being emulated."""
+        return len(self._emulated)
+
+    def is_emulated(self, gpa: int) -> bool:
+        """Whether ``gpa`` has an open write buffer."""
+        return gpa in self._emulated
+
+    def classify_overwrite(self, gpa: int, pattern: WritePattern,
+                           now: float) -> OverwriteVerdict:
+        """Decide how to handle an overwrite of a swapped-out page.
+
+        The caller performs the actual frame/disk work according to the
+        verdict; on REMAP or FALLBACK any open buffer for the page is
+        closed.
+        """
+        if pattern is WritePattern.SCATTERED:
+            # Non-sequential pattern: stop emulating (Section 4.2).
+            self._emulated.pop(gpa, None)
+            return OverwriteVerdict.FALLBACK
+
+        if pattern is WritePattern.FULL_SEQUENTIAL:
+            # A whole page arrives; the cap only matters for pages that
+            # would *stay* buffered, so a full overwrite always wins
+            # unless the emulator is saturated by other open pages.
+            if (gpa not in self._emulated
+                    and len(self._emulated) >= self.cfg.preventer_max_pages):
+                return OverwriteVerdict.FALLBACK
+            self._emulated.pop(gpa, None)
+            return OverwriteVerdict.REMAP
+
+        # PARTIAL: open (or extend) an emulation buffer.
+        page = self._emulated.get(gpa)
+        if page is None:
+            if len(self._emulated) >= self.cfg.preventer_max_pages:
+                return OverwriteVerdict.FALLBACK
+            self._emulated[gpa] = EmulatedPage(gpa, now)
+        return OverwriteVerdict.BUFFERED
+
+    def emulation_cost(self, pattern: WritePattern) -> float:
+        """CPU cost of emulating the writes of one overwrite event."""
+        if (pattern is WritePattern.FULL_SEQUENTIAL
+                and self.cfg.rep_prefix_detection):
+            # REP-detected: recognized outright, no per-byte emulation.
+            return self.cfg.emulation_page_cost / 8
+        return self.cfg.emulation_page_cost
+
+    def expired(self, now: float) -> list[int]:
+        """GPAs whose emulation window lapsed; their buffers close.
+
+        The caller schedules the asynchronous read-and-merge for each.
+        """
+        lapsed = [
+            gpa for gpa, page in self._emulated.items()
+            if now - page.first_write_time >= self.cfg.preventer_window
+        ]
+        for gpa in lapsed:
+            del self._emulated[gpa]
+        return lapsed
+
+    def force_close(self, gpa: int) -> bool:
+        """Close an open buffer (guest read of unbuffered data, or
+        QEMU-side access -- the ``h`` handler in the paper).
+
+        Returns True if a buffer was open; the caller must read the old
+        content synchronously and merge.
+        """
+        return self._emulated.pop(gpa, None) is not None
+
+    def close_all(self) -> list[int]:
+        """Drain every open buffer (VM teardown)."""
+        gpas = list(self._emulated)
+        self._emulated.clear()
+        return gpas

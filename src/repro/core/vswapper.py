@@ -1,0 +1,39 @@
+"""VSwapper facade: per-VM bundle of Mapper and Preventer."""
+
+from __future__ import annotations
+
+from repro.config import VSwapperConfig
+from repro.core.mapper import SwapMapper
+from repro.core.preventer import FalseReadsPreventer
+
+
+class VSwapper:
+    """The per-VM VSwapper instance the hypervisor consults.
+
+    Either component can be disabled independently, matching the
+    paper's evaluated configurations: "baseline" (both off), "mapper"
+    (Mapper only), and "vswapper" (both on).
+    """
+
+    def __init__(self, config: VSwapperConfig) -> None:
+        config.validate()
+        self.cfg = config
+        self.mapper: SwapMapper | None = (
+            SwapMapper() if config.enable_mapper else None)
+        self.preventer: FalseReadsPreventer | None = (
+            FalseReadsPreventer(config) if config.enable_preventer else None)
+
+    @property
+    def active(self) -> bool:
+        """Whether any component is enabled."""
+        return self.mapper is not None or self.preventer is not None
+
+    def describe(self) -> str:
+        """The paper's name for this configuration."""
+        if self.mapper and self.preventer:
+            return "vswapper"
+        if self.mapper:
+            return "mapper"
+        if self.preventer:
+            return "preventer-only"
+        return "baseline"

@@ -1,0 +1,27 @@
+"""Disk substrate: latency models, shared device, image, swap area.
+
+The paper's testbed stores both the guest disk images and the host swap
+area on one 7200 RPM hard drive, so the cost of every swap decision is
+a function of *where the head is*.  This package models exactly that:
+a single request queue, a head position, and distance-dependent seeks
+between the image, swap, and host-root regions.
+"""
+
+from repro.disk.latency import HddLatencyModel, LatencyModel, SsdLatencyModel
+from repro.disk.geometry import DiskLayout, DiskRegion
+from repro.disk.device import DiskDevice, DiskStats
+from repro.disk.image import VirtualDiskImage, BlockVersion
+from repro.disk.swaparea import HostSwapArea
+
+__all__ = [
+    "LatencyModel",
+    "HddLatencyModel",
+    "SsdLatencyModel",
+    "DiskLayout",
+    "DiskRegion",
+    "DiskDevice",
+    "DiskStats",
+    "VirtualDiskImage",
+    "BlockVersion",
+    "HostSwapArea",
+]

@@ -1,0 +1,145 @@
+"""The shared physical disk: one head, one queue.
+
+All guests' virtual I/O, the host swap traffic, and hypervisor-code
+fault-ins funnel through one :class:`DiskDevice`, so contention and
+head thrashing between regions emerge naturally (Figures 3 and 14).
+
+Reads are synchronous: the caller stalls for queue wait + service time.
+Writes are asynchronous (host swap-out and guest write-back are both
+buffered in reality): the caller does not stall, but the request still
+occupies the head, delaying subsequent reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disk.latency import LatencyModel
+from repro.errors import DiskError
+from repro.sim.clock import Clock
+
+
+@dataclass
+class DiskStats:
+    """Device-level totals (all guests, all regions)."""
+
+    requests: int = 0
+    sectors_read: int = 0
+    sectors_written: int = 0
+    seeks: int = 0
+    busy_time: float = 0.0
+    #: Histogram of request counts per region name.
+    per_region_requests: dict[str, int] = field(default_factory=dict)
+
+
+class DiskDevice:
+    """Single-head disk with distance-dependent service times."""
+
+    def __init__(self, clock: Clock, latency: LatencyModel,
+                 *, name: str = "disk0",
+                 max_write_backlog: float = 0.25) -> None:
+        self.clock = clock
+        self.latency = latency
+        self.name = name
+        #: Write-back throttling: an async writer stalls until the
+        #: device backlog drains below this many seconds (dirty-page
+        #: throttling keeps buffered writes from being free).
+        self.max_write_backlog = max_write_backlog
+        self.stats = DiskStats()
+        self._busy_until = 0.0
+        self._head_sector = 0
+
+    @property
+    def head_sector(self) -> int:
+        """Where the head will rest after the queued work completes."""
+        return self._head_sector
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual time at which all queued requests finish."""
+        return self._busy_until
+
+    def _serve(self, start_sector: int, nsectors: int, *, write: bool,
+               region: str) -> tuple[float, float]:
+        """Queue one request; returns (completion_time, stall_for_reader).
+
+        The stall is measured from *now*: queue wait plus service time.
+        """
+        if nsectors <= 0:
+            raise DiskError(f"non-positive request length: {nsectors}")
+        if start_sector < 0:
+            raise DiskError(f"negative start sector: {start_sector}")
+        now = self.clock.now
+        begin = max(now, self._busy_until)
+        distance = abs(start_sector - self._head_sector)
+        service = self.latency.service_time(distance, nsectors)
+        completion = begin + service
+
+        self.stats.requests += 1
+        self.stats.busy_time += service
+        if distance:
+            self.stats.seeks += 1
+        if write:
+            self.stats.sectors_written += nsectors
+        else:
+            self.stats.sectors_read += nsectors
+        bucket = self.stats.per_region_requests
+        bucket[region] = bucket.get(region, 0) + 1
+
+        self._busy_until = completion
+        self._head_sector = start_sector + nsectors
+        return completion, completion - now
+
+    def read(self, start_sector: int, nsectors: int,
+             *, region: str = "?") -> float:
+        """Synchronous read; returns the caller's stall time in seconds."""
+        _completion, stall = self._serve(
+            start_sector, nsectors, write=False, region=region)
+        return stall
+
+    def read_async(self, start_sector: int, nsectors: int,
+                   *, region: str = "?") -> float:
+        """Non-blocking read (Preventer merge path); returns completion.
+
+        The requester is not waiting for the data right now; the request
+        still occupies the head like any other.
+        """
+        completion, _stall = self._serve(
+            start_sector, nsectors, write=False, region=region)
+        return completion
+
+    def write_async(self, start_sector: int, nsectors: int,
+                    *, region: str = "?") -> float:
+        """Buffered write; returns the writer's *throttle* stall.
+
+        The request occupies the head (delaying later requests), and
+        when the device backlog exceeds :attr:`max_write_backlog` the
+        writer is stalled until it drains below the cap -- write-back
+        throttling, without which buffered writes would be free.
+        """
+        completion, _stall = self._serve(
+            start_sector, nsectors, write=True, region=region)
+        backlog = completion - self.clock.now
+        return max(0.0, backlog - self.max_write_backlog)
+
+    def write_sync(self, start_sector: int, nsectors: int,
+                   *, region: str = "?") -> float:
+        """Synchronous write (fsync/flush paths); returns stall time."""
+        _completion, stall = self._serve(
+            start_sector, nsectors, write=True, region=region)
+        return stall
+
+    def quiesce(self) -> None:
+        """Drain the queue instantly and reset statistics.
+
+        Used after untimed setup phases (guest boot history) so the
+        measured workload starts with an idle device and clean stats.
+        """
+        self._busy_until = self.clock.now
+        self.stats = DiskStats()
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the device spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / elapsed)

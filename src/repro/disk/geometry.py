@@ -1,0 +1,86 @@
+"""Physical layout of the shared drive.
+
+The paper's host keeps everything on one disk: the host root filesystem
+(holding the QEMU executable), the host swap partition, and the guests'
+raw image files.  Region placement matters because inter-region seeks
+are the dominant cost of interleaved swap/image traffic (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DiskError
+from repro.units import SECTORS_PER_PAGE
+
+
+@dataclass(frozen=True)
+class DiskRegion:
+    """A contiguous range of physical sectors with a name."""
+
+    name: str
+    base_sector: int
+    size_sectors: int
+
+    def sector_of_page(self, page_index: int) -> int:
+        """Absolute sector of the region-local page ``page_index``."""
+        sector = page_index * SECTORS_PER_PAGE
+        if sector < 0 or sector + SECTORS_PER_PAGE > self.size_sectors:
+            raise DiskError(
+                f"page {page_index} outside region {self.name!r} "
+                f"({self.size_sectors} sectors)"
+            )
+        return self.base_sector + sector
+
+    @property
+    def size_pages(self) -> int:
+        """Whole pages that fit in the region."""
+        return self.size_sectors // SECTORS_PER_PAGE
+
+    def contains(self, sector: int) -> bool:
+        """Whether the absolute ``sector`` lies inside this region."""
+        return self.base_sector <= sector < self.base_sector + self.size_sectors
+
+
+class DiskLayout:
+    """Sequential allocator of named regions on one physical disk.
+
+    Regions are laid out in allocation order with a configurable gap,
+    mimicking partitions / large files placed apart on the platter.
+    """
+
+    def __init__(self, *, gap_sectors: int = 4 * 1024 * 1024) -> None:
+        self._regions: dict[str, DiskRegion] = {}
+        self._next_base = 0
+        self._gap = gap_sectors
+
+    def add_region(self, name: str, size_sectors: int) -> DiskRegion:
+        """Carve out the next ``size_sectors`` as region ``name``."""
+        if name in self._regions:
+            raise DiskError(f"duplicate region name: {name!r}")
+        if size_sectors <= 0:
+            raise DiskError(f"region {name!r} must have positive size")
+        region = DiskRegion(name, self._next_base, size_sectors)
+        self._regions[name] = region
+        self._next_base += size_sectors + self._gap
+        return region
+
+    def add_region_pages(self, name: str, size_pages: int) -> DiskRegion:
+        """Convenience: carve a region sized in whole pages."""
+        return self.add_region(name, size_pages * SECTORS_PER_PAGE)
+
+    def region(self, name: str) -> DiskRegion:
+        """Look up a region by name."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise DiskError(f"unknown region: {name!r}") from None
+
+    @property
+    def total_sectors(self) -> int:
+        """Span of the allocated layout (for seek-distance scaling)."""
+        return self._next_base
+
+    def regions(self) -> list[DiskRegion]:
+        """All regions in allocation order."""
+        return list(self._regions.values())

@@ -1,0 +1,76 @@
+"""Virtual disk image with content versioning.
+
+The simulator never stores real bytes.  Instead each image block keeps
+a monotonically increasing *version*; a memory page that was filled
+from block ``b`` at version ``v`` records the pair ``(b, v)``.  The
+page's bytes equal the block's current bytes iff the image still holds
+version ``v`` -- which is all the Swap Mapper's correctness and the
+silent-swap-write metric need to know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.geometry import DiskRegion
+from repro.errors import DiskError
+
+
+@dataclass(frozen=True)
+class BlockVersion:
+    """Identity of one block's contents at some point in time."""
+
+    block: int
+    version: int
+
+
+class VirtualDiskImage:
+    """One guest's raw disk image, mapped onto a physical region.
+
+    Blocks are page-sized (the Mapper reports a 4 KiB logical sector
+    size to guests precisely so this granularity holds -- Section 4.1
+    "Page Alignment").
+    """
+
+    def __init__(self, region: DiskRegion) -> None:
+        self.region = region
+        self.size_blocks = region.size_pages
+        # Sparse: blocks never written stay at version 0.
+        self._versions: dict[int, int] = {}
+
+    def _check(self, block: int) -> None:
+        if not 0 <= block < self.size_blocks:
+            raise DiskError(
+                f"block {block} outside image of {self.size_blocks} blocks")
+
+    def version_of(self, block: int) -> int:
+        """Current content version of ``block`` (0 = never written)."""
+        self._check(block)
+        return self._versions.get(block, 0)
+
+    def current(self, block: int) -> BlockVersion:
+        """The block's current content identity."""
+        return BlockVersion(block, self.version_of(block))
+
+    def write(self, block: int) -> BlockVersion:
+        """Overwrite ``block`` with new content; returns its new identity."""
+        self._check(block)
+        version = self._versions.get(block, 0) + 1
+        self._versions[block] = version
+        return BlockVersion(block, version)
+
+    def matches(self, block: int, content: object) -> bool:
+        """Whether ``content`` equals the block's current contents.
+
+        Non-:class:`BlockVersion` contents (None, zero pages, anonymous
+        data) never match a disk block.
+        """
+        if not isinstance(content, BlockVersion):
+            return False
+        return (content.block == block
+                and content.version == self.version_of(block))
+
+    def sector_of(self, block: int) -> int:
+        """Absolute physical sector where ``block`` starts."""
+        self._check(block)
+        return self.region.sector_of_page(block)

@@ -1,0 +1,168 @@
+"""Host swap-area slot allocator.
+
+Linux allocates swap slots in *clusters*: a reclaim batch receives a
+contiguous run of slots so that related pages land together, which is
+what makes swap readahead worthwhile at all.  Freed slots coalesce into
+holes and are reused first-fit-by-run.  Decayed swap sequentiality
+emerges from the stragglers: pages brought in by readahead but never
+touched keep their old slots, so reusable holes fragment over time and
+eviction batches are increasingly scattered across slot generations.
+"""
+
+from __future__ import annotations
+
+from repro.disk.geometry import DiskRegion
+from repro.errors import DiskError
+
+
+class HostSwapArea:
+    """Page-sized swap slots with run (cluster) allocation."""
+
+    def __init__(self, region: DiskRegion) -> None:
+        self.region = region
+        self.size_slots = region.size_pages
+        #: Holes below the frontier: start -> length, kept coalesced.
+        self._holes: dict[int, int] = {}
+        #: end (start+length) -> start, for O(1) coalescing.
+        self._hole_ends: dict[int, int] = {}
+        #: Everything at/after the frontier has never been used.
+        self._frontier = 0
+        self._allocated: set[int] = set()
+        #: Highest slot ever handed out + 1; proxy for swap footprint.
+        self.high_watermark = 0
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def used_slots(self) -> int:
+        """Slots currently holding swapped-out pages."""
+        return len(self._allocated)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available for allocation."""
+        return self.size_slots - len(self._allocated)
+
+    def is_allocated(self, slot: int) -> bool:
+        """Whether ``slot`` currently holds swapped content."""
+        return slot in self._allocated
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def allocate_run(self, n: int) -> list[int]:
+        """Allocate ``n`` slots, contiguous when possible.
+
+        Order of preference (mirroring the kernel's cluster scan):
+        the lowest coalesced hole large enough, then fresh space at the
+        frontier, then piecemeal hole fragments (the decayed regime).
+        """
+        if n <= 0:
+            raise DiskError(f"non-positive run length: {n}")
+        if n > self.free_slots:
+            raise DiskError("host swap area exhausted")
+        best_start = None
+        for start, length in self._holes.items():
+            if length >= n and (best_start is None or start < best_start):
+                best_start = start
+        if best_start is not None:
+            return self._carve(best_start, n)
+        if self._frontier + n <= self.size_slots:
+            start = self._frontier
+            self._frontier += n
+            return self._take(start, n)
+        # Fragmented fallback: gather the lowest fragments one by one.
+        slots: list[int] = []
+        while len(slots) < n:
+            slots.extend(self.allocate_run(
+                min(n - len(slots), self._largest_fit(n - len(slots)))))
+        return slots
+
+    def allocate(self) -> int:
+        """Allocate a single slot (lowest hole first, then frontier)."""
+        return self.allocate_run(1)[0]
+
+    def _largest_fit(self, want: int) -> int:
+        """Largest run length <= want available anywhere."""
+        best = 0
+        for length in self._holes.values():
+            best = max(best, min(length, want))
+            if best == want:
+                return best
+        if self._frontier < self.size_slots:
+            best = max(best, min(want, self.size_slots - self._frontier))
+        if best == 0:
+            raise DiskError("host swap area exhausted")
+        return best
+
+    def _carve(self, start: int, n: int) -> list[int]:
+        length = self._holes.pop(start)
+        del self._hole_ends[start + length]
+        if length > n:
+            new_start = start + n
+            self._holes[new_start] = length - n
+            self._hole_ends[start + length] = new_start
+        return self._take(start, n)
+
+    def _take(self, start: int, n: int) -> list[int]:
+        slots = list(range(start, start + n))
+        self._allocated.update(slots)
+        self.high_watermark = max(self.high_watermark, start + n)
+        return slots
+
+    # ------------------------------------------------------------------
+    # freeing
+    # ------------------------------------------------------------------
+
+    def free(self, slot: int) -> None:
+        """Return ``slot`` to the pool, coalescing with neighbours."""
+        if slot not in self._allocated:
+            raise DiskError(f"double free of swap slot {slot}")
+        self._allocated.remove(slot)
+        start, length = slot, 1
+        # Merge with the hole ending exactly where this one starts.
+        left_start = self._hole_ends.pop(slot, None)
+        if left_start is not None:
+            left_len = self._holes.pop(left_start)
+            start = left_start
+            length += left_len
+        # Merge with the hole starting right after.
+        right_len = self._holes.pop(slot + 1, None)
+        if right_len is not None:
+            del self._hole_ends[slot + 1 + right_len]
+            length += right_len
+        self._holes[start] = length
+        self._hole_ends[start + length] = start
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+
+    def sector_of(self, slot: int) -> int:
+        """Absolute physical sector where ``slot`` starts."""
+        if not 0 <= slot < self.size_slots:
+            raise DiskError(f"slot {slot} outside swap area")
+        return self.region.sector_of_page(slot)
+
+    def cluster_of(self, slot: int, cluster_size: int) -> range:
+        """The aligned slot cluster containing ``slot``.
+
+        Swap readahead (Linux ``page-cluster``) reads this whole aligned
+        group on a fault; its usefulness depends on whether neighbouring
+        slots still hold related pages.
+        """
+        if cluster_size <= 0:
+            raise DiskError(f"non-positive cluster size: {cluster_size}")
+        base = (slot // cluster_size) * cluster_size
+        end = min(base + cluster_size, self.size_slots)
+        return range(base, end)
+
+    def fragmentation(self) -> float:
+        """Fraction of free space below the frontier held in holes
+        smaller than a typical reclaim batch (diagnostic)."""
+        small = sum(v for v in self._holes.values() if v < 32)
+        total = sum(self._holes.values())
+        return small / total if total else 0.0

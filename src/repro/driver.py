@@ -1,0 +1,106 @@
+"""The VM driver: feeds a workload's operations into its guest.
+
+One driver per (VM, workload) pair.  Each engine step pulls the next
+operation, lets the guest kernel interpret it, and converts the charged
+costs into a duration -- scaling fault stalls by the workload's
+asynchronous-page-fault overlap when the host supports it (KVM's async
+page faults let a multithreaded guest run other threads while the host
+swaps a page in; Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import GuestOsKind
+from repro.errors import GuestOomKill
+from repro.host.vm import Vm
+from repro.machine import Machine
+from repro.sim.ops import MarkPhase
+from repro.workloads.base import Workload
+
+#: Called on MarkPhase ops: (phase name, payload, virtual time).
+PhaseCallback = Callable[[str, dict, float], None]
+
+#: Floor of the fault-overlap factor: even many threads cannot hide
+#: stalls entirely, because they fault too.
+MIN_OVERLAP = 0.5
+
+#: Balloon pages a guest moves per workload operation at most, so that
+#: inflation interleaves with (rather than preempts) the workload.
+BALLOON_STEP_PAGES = 2048
+
+
+def fault_overlap_for(threads: int, async_faults: bool) -> float:
+    """Fraction of fault stall charged to a workload's critical path."""
+    if not async_faults or threads <= 1:
+        return 1.0
+    return max(1.0 / threads, MIN_OVERLAP)
+
+
+class VmDriver:
+    """Runs one workload inside one VM."""
+
+    def __init__(self, machine: Machine, vm: Vm, workload: Workload,
+                 *, start_delay: float = 0.0,
+                 phase_callback: Optional[PhaseCallback] = None) -> None:
+        self.machine = machine
+        self.vm = vm
+        self.workload = workload
+        self.phase_callback = phase_callback
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.crashed = False
+
+        # KVM's asynchronous page faults need guest-side support, which
+        # Windows guests lack.
+        guest_supports_async = (
+            vm.cfg.guest.os_kind is GuestOsKind.LINUX)
+        vm.fault_overlap = fault_overlap_for(
+            workload.threads,
+            machine.cfg.host.async_page_faults and guest_supports_async)
+        self._ops = iter(workload.operations())
+        machine.engine.add_process(self._step, start_delay)
+
+    def _step(self) -> float | None:
+        now = self.machine.now
+        if self.started_at is None:
+            self.started_at = now
+            self.vm.guest.workload_min_resident = \
+                self.workload.min_resident_pages
+        try:
+            op = next(self._ops)
+        except StopIteration:
+            self.finished_at = now
+            return None
+
+        if isinstance(op, MarkPhase) and self.phase_callback is not None:
+            self.phase_callback(op.name, dict(op.payload), now)
+
+        self.vm.costs.reset()
+        try:
+            # Balloon work runs on the guest's own time: inflating
+            # means reclaiming (and possibly swapping) right here,
+            # competing with the workload -- the paper's Section 2.3
+            # responsiveness problem.
+            if self.vm.guest.balloon_target != self.vm.guest.balloon_size:
+                self.vm.guest.apply_balloon(BALLOON_STEP_PAGES)
+            self.vm.guest.execute(op)
+        except GuestOomKill:
+            self.crashed = True
+            self.finished_at = now
+            return None
+        return self.vm.costs.duration(self.vm.fault_overlap)
+
+    @property
+    def done(self) -> bool:
+        """Whether the workload ran to completion or crashed."""
+        return self.finished_at is not None
+
+    @property
+    def runtime(self) -> float:
+        """Virtual seconds from first op to completion."""
+        if self.started_at is None or self.finished_at is None:
+            raise RuntimeError(
+                f"workload {self.workload.name!r} has not finished")
+        return self.finished_at - self.started_at

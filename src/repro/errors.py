@@ -1,0 +1,69 @@
+"""Exception hierarchy for the VSwapper reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class DiskError(ReproError):
+    """An invalid disk request (out-of-range sector, bad length...)."""
+
+
+class MemoryError_(ReproError):
+    """Host or guest memory accounting was violated.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``MemoryError`` while staying greppable.
+    """
+
+
+class GuestError(ReproError):
+    """The guest kernel model was driven into an invalid state."""
+
+
+class GuestOomKill(GuestError):
+    """The guest out-of-memory killer terminated the running workload.
+
+    The paper observes this under over-ballooning (Section 2.4): the
+    balloon manager inflates beyond what the guest can reclaim and the
+    guest kills the benchmark process.  Experiments catch this exception
+    and report the configuration as *crashed* (missing bars in the
+    paper's figures).
+    """
+
+    def __init__(self, message: str, *, pid: int | None = None) -> None:
+        super().__init__(message)
+        self.pid = pid
+
+
+class HostError(ReproError):
+    """The hypervisor model was driven into an invalid state."""
+
+
+class ConsistencyError(ReproError):
+    """A data-consistency invariant of the Swap Mapper was violated.
+
+    Raised by the self-checking consistency layer when the simulated
+    guest would have observed stale data -- e.g. a tracked page whose
+    backing blocks were overwritten without invalidation (Section 4.1,
+    "Data Consistency").
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or produced no data."""

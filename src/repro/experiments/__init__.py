@@ -1,0 +1,23 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every experiment returns an :class:`repro.experiments.runner.FigureResult`
+holding raw series plus a rendered :class:`repro.metrics.report.Table`,
+so the benchmark suite and the CLI can both regenerate the paper's
+evaluation.  The per-experiment index lives in DESIGN.md Section 4.
+"""
+
+from repro.experiments.runner import (
+    ConfigName,
+    FigureResult,
+    RunResult,
+    SingleVmExperiment,
+    standard_configs,
+)
+
+__all__ = [
+    "ConfigName",
+    "FigureResult",
+    "RunResult",
+    "SingleVmExperiment",
+    "standard_configs",
+]

@@ -1,0 +1,167 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures and quantify:
+
+* the **hardware dirty bit** the paper anticipates from Haswell
+  (Section 3 footnote, Section 7) -- how much of the silent-write
+  traffic a guest-page dirty bit alone would remove;
+* **SSD swap devices** -- the paper remarks VSwapper's write
+  elimination "makes it beneficial for systems that employ SSDs";
+* the Preventer's **emulation window and page cap** (the empirically
+  chosen 1 ms / 32 pages, Section 4.2);
+* the host's **swap readahead cluster size** interaction with decayed
+  sequentiality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.config import DiskConfig, HostConfig, MachineConfig, VSwapperConfig
+from repro.experiments.runner import (
+    ConfigName,
+    ConfigSpec,
+    FigureResult,
+    SingleVmExperiment,
+    scaled_guest_config,
+    standard_configs,
+)
+from repro.metrics.report import Table
+from repro.units import mib_pages
+from repro.workloads.alloctouch import SysbenchThenAlloc
+from repro.workloads.sysbench import SysbenchFileRead
+
+
+def _sysbench_experiment(scale: int,
+                         machine_config: MachineConfig | None = None,
+                         ) -> SingleVmExperiment:
+    return SingleVmExperiment(
+        guest_mib=512 / scale,
+        actual_mib=100 / scale,
+        machine_config=machine_config or MachineConfig(),
+        guest_config=scaled_guest_config(512, scale),
+        files=[("sysbench.dat", mib_pages(200 / scale))],
+    )
+
+
+def run_dirty_bit_ablation(*, scale: int = 1) -> FigureResult:
+    """Baseline swapping with and without a guest-page dirty bit."""
+    rows: dict = {}
+    for label, hw_bit in (("no dirty bit (2013 hw)", False),
+                          ("hardware dirty bit (Haswell)", True)):
+        machine_config = MachineConfig(
+            host=HostConfig(hardware_dirty_bit=hw_bit))
+        experiment = _sysbench_experiment(scale, machine_config)
+        spec = standard_configs([ConfigName.BASELINE])[0]
+        result = experiment.run(spec, SysbenchFileRead(
+            file_pages=mib_pages(200 / scale), iterations=4))
+        rows[label] = {
+            "runtime": result.runtime,
+            "swap_sectors_written": result.counters.get(
+                "swap_sectors_written"),
+            "silent_swap_writes": result.counters.get("silent_swap_writes"),
+        }
+    table = Table(
+        f"Ablation (scale=1/{scale}): hardware dirty bit for guest pages "
+        f"(baseline swapping, sysbench x4)",
+        ["configuration", "runtime [s]", "swap sectors written",
+         "silent writes"],
+    )
+    for label, row in rows.items():
+        table.add_row(label, round(row["runtime"], 1),
+                      row["swap_sectors_written"],
+                      row["silent_swap_writes"])
+    return FigureResult("ablation-dirty-bit", rows, table.render())
+
+
+def run_ssd_ablation(*, scale: int = 1) -> FigureResult:
+    """Baseline vs VSwapper on HDD and on SSD swap devices."""
+    rows: dict = {}
+    for disk_kind in ("hdd", "ssd"):
+        machine_config = MachineConfig(disk=DiskConfig(kind=disk_kind))
+        experiment = _sysbench_experiment(scale, machine_config)
+        for name in (ConfigName.BASELINE, ConfigName.VSWAPPER):
+            spec = standard_configs([name])[0]
+            result = experiment.run(spec, SysbenchFileRead(
+                file_pages=mib_pages(200 / scale), iterations=4))
+            rows[(disk_kind, name.value)] = {
+                "runtime": result.runtime,
+                "swap_sectors_written": result.counters.get(
+                    "swap_sectors_written"),
+            }
+    table = Table(
+        f"Ablation (scale=1/{scale}): disk technology (sysbench x4)",
+        ["disk", "config", "runtime [s]", "swap sectors written"],
+    )
+    for (disk_kind, config), row in rows.items():
+        table.add_row(disk_kind, config, round(row["runtime"], 1),
+                      row["swap_sectors_written"])
+    return FigureResult("ablation-ssd", rows, table.render())
+
+
+def run_preventer_param_ablation(
+    *,
+    scale: int = 1,
+    windows: Sequence[float] = (0.25e-3, 1e-3, 4e-3),
+    caps: Sequence[int] = (8, 32, 128),
+) -> FigureResult:
+    """Sensitivity of the Preventer to its window and page cap."""
+    rows: dict = {}
+    for window in windows:
+        for cap in caps:
+            vswapper = replace(
+                VSwapperConfig.full(),
+                preventer_window=window,
+                preventer_max_pages=cap,
+            )
+            spec = ConfigSpec(ConfigName.VSWAPPER, vswapper, False)
+            experiment = _sysbench_experiment(scale)
+            result = experiment.run(spec, SysbenchThenAlloc(
+                file_pages=mib_pages(200 / scale),
+                alloc_pages=mib_pages(200 / scale)))
+            rows[(window, cap)] = {
+                "runtime": result.runtime,
+                "remaps": result.counters.get("preventer_remaps"),
+                "merges": result.counters.get("preventer_merges"),
+            }
+    table = Table(
+        f"Ablation (scale=1/{scale}): Preventer window/cap "
+        f"(sysbench-then-alloc)",
+        ["window [ms]", "page cap", "runtime [s]", "remaps", "merges"],
+    )
+    for (window, cap), row in rows.items():
+        table.add_row(window * 1e3, cap, round(row["runtime"], 2),
+                      row["remaps"], row["merges"])
+    return FigureResult("ablation-preventer", rows, table.render())
+
+
+def run_cluster_ablation(
+    *,
+    scale: int = 1,
+    clusters: Sequence[int] = (1, 4, 8, 16, 32),
+) -> FigureResult:
+    """Swap readahead cluster size vs baseline decay."""
+    rows: dict = {}
+    for cluster in clusters:
+        machine_config = MachineConfig(
+            host=HostConfig(swap_cluster_pages=cluster))
+        experiment = _sysbench_experiment(scale, machine_config)
+        spec = standard_configs([ConfigName.BASELINE])[0]
+        result = experiment.run(spec, SysbenchFileRead(
+            file_pages=mib_pages(200 / scale), iterations=4))
+        rows[cluster] = {
+            "runtime": result.runtime,
+            "guest_faults": result.counters.get("guest_context_faults"),
+            "swap_sectors_read": result.counters.get("swap_sectors_read"),
+        }
+    table = Table(
+        f"Ablation (scale=1/{scale}): swap readahead cluster size "
+        f"(baseline, sysbench x4)",
+        ["cluster [pages]", "runtime [s]", "guest faults",
+         "swap sectors read"],
+    )
+    for cluster, row in rows.items():
+        table.add_row(cluster, round(row["runtime"], 1),
+                      row["guest_faults"], row["swap_sectors_read"])
+    return FigureResult("ablation-cluster", rows, table.render())

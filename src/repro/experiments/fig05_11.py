@@ -1,0 +1,88 @@
+"""Figures 5 and 11: pbzip2 under a shrinking memory grant.
+
+One 8-thread compression job inside a guest that believes it has
+512 MB, granted 512 down to 128 MB of actual memory.  Figure 5 plots
+runtime (ballooning wins while it survives, but the guest's OOM killer
+terminates the job once the grant drops below the workload's needs);
+Figure 11 plots disk operations, written sectors (VSwapper eliminates
+the write component), and reclaim pages-scanned (the Mapper roughly
+doubles scan lengths at low pressure).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import (
+    ConfigName,
+    FigureResult,
+    SingleVmExperiment,
+    scaled_guest_config,
+    standard_configs,
+)
+from repro.metrics.report import Table
+from repro.units import mib_pages
+from repro.workloads.pbzip import PbzipCompress
+
+FIG05_CONFIGS = (
+    ConfigName.BASELINE,
+    ConfigName.MAPPER,
+    ConfigName.VSWAPPER,
+    ConfigName.BALLOON_BASELINE,
+)
+
+#: The paper's Figure 5/11 X axis (MiB of actual memory).
+DEFAULT_MEMORY_SWEEP = (512, 448, 384, 320, 256, 240, 192, 128)
+
+
+def run_fig05_fig11(
+    *,
+    scale: int = 1,
+    memory_sweep_mib: Sequence[int] = DEFAULT_MEMORY_SWEEP,
+    config_names: Sequence[ConfigName] = FIG05_CONFIGS,
+) -> FigureResult:
+    """Regenerate Figure 5 (runtime) and Figure 11 (panels a-c)."""
+    series: dict = {name.value: {} for name in config_names}
+    for actual_mib in memory_sweep_mib:
+        experiment = SingleVmExperiment(
+            guest_mib=512 / scale,
+            actual_mib=actual_mib / scale,
+            guest_config=scaled_guest_config(512, scale),
+            files=[
+                ("pbzip-input", mib_pages(500 / scale)),
+                ("pbzip-output", mib_pages(140 / scale)),
+            ],
+        )
+        for spec in standard_configs(config_names):
+            workload = PbzipCompress(
+                input_pages=mib_pages(500 / scale),
+                min_resident_pages=mib_pages(220 / scale),
+            )
+            result = experiment.run(spec, workload)
+            series[spec.name.value][actual_mib] = {
+                "runtime": result.runtime,
+                "crashed": result.crashed,
+                "disk_ops": result.counters.get("disk_ops"),
+                "swap_sectors_written": result.counters.get(
+                    "swap_sectors_written"),
+                "pages_scanned": result.counters.get("pages_scanned"),
+                "false_reads": result.counters.get("false_reads"),
+                "preventer_remaps": result.counters.get("preventer_remaps"),
+            }
+
+    table = Table(
+        f"Figures 5 and 11 (scale=1/{scale}): pbzip2 vs actual memory "
+        f"(guest believes 512MB)",
+        ["config", "memory [MiB]", "runtime [s]", "disk ops",
+         "swap sectors written", "pages scanned"],
+    )
+    for config, by_memory in series.items():
+        for actual_mib, row in by_memory.items():
+            if row["crashed"]:
+                table.add_row(config, actual_mib, "killed (OOM)",
+                              "-", "-", "-")
+            else:
+                table.add_row(config, actual_mib, round(row["runtime"], 1),
+                              row["disk_ops"], row["swap_sectors_written"],
+                              row["pages_scanned"])
+    return FigureResult("fig05+fig11", series, table.render())

@@ -1,0 +1,117 @@
+"""Figure 9: the anatomy of uncooperative swapping.
+
+Sysbench iteratively reads a 200 MB file inside a guest that believes
+it has 512 MB but actually has 100 MB.  Four panels per iteration:
+
+(a) runtime -- baseline is U-shaped (stale reads dominate iteration 1,
+    decayed sequentiality grows the tail), VSwapper stays flat;
+(b) host-context page faults -- stale reads in iteration 1, false page
+    anonymity (QEMU code refaults) afterwards;
+(c) guest-context page faults -- grows with decayed sequentiality;
+(d) sectors written to the host swap area -- silent swap writes,
+    roughly constant per iteration for the baseline.
+
+Figure 3 is this experiment's first iteration, so :func:`run_fig03`
+reuses the same harness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import (
+    ConfigName,
+    FigureResult,
+    SingleVmExperiment,
+    scaled_guest_config,
+    standard_configs,
+)
+from repro.metrics.report import Table
+from repro.units import mib_pages
+from repro.workloads.sysbench import SysbenchFileRead
+
+#: Figure 9 plots baseline, vswapper, and balloon+baseline.
+FIG09_CONFIGS = (
+    ConfigName.BASELINE,
+    ConfigName.VSWAPPER,
+    ConfigName.BALLOON_BASELINE,
+)
+
+#: Figure 3 adds the combined configuration.
+FIG03_CONFIGS = (
+    ConfigName.BASELINE,
+    ConfigName.BALLOON_BASELINE,
+    ConfigName.VSWAPPER,
+    ConfigName.BALLOON_VSWAPPER,
+)
+
+
+def run_fig09(*, scale: int = 1, iterations: int = 8,
+              config_names: Sequence[ConfigName] = FIG09_CONFIGS,
+              ) -> FigureResult:
+    """Regenerate Figure 9's four panels."""
+    experiment = SingleVmExperiment(
+        guest_mib=512 / scale,
+        actual_mib=100 / scale,
+        guest_config=scaled_guest_config(512, scale),
+        files=[("sysbench.dat", mib_pages(200 / scale))],
+    )
+    series: dict = {}
+    for spec in standard_configs(config_names):
+        workload = SysbenchFileRead(
+            file_pages=mib_pages(200 / scale), iterations=iterations)
+        result = experiment.run(spec, workload)
+        series[spec.name.value] = {
+            "runtime": result.iteration_durations(),
+            "host_faults": result.iteration_counter_deltas(
+                "host_context_faults"),
+            "guest_faults": result.iteration_counter_deltas(
+                "guest_context_faults"),
+            "swap_sectors_written": result.iteration_counter_deltas(
+                "swap_sectors_written"),
+            "stale_reads": result.iteration_counter_deltas("stale_reads"),
+        }
+
+    table = Table(
+        f"Figure 9 (scale=1/{scale}): sysbench iterative 200MB read, "
+        f"100MB actual",
+        ["config", "iter", "runtime[s]", "host faults", "guest faults",
+         "swap sectors written"],
+    )
+    for config, panels in series.items():
+        for i in range(iterations):
+            table.add_row(
+                config, i + 1,
+                round(panels["runtime"][i], 2),
+                panels["host_faults"][i],
+                panels["guest_faults"][i],
+                panels["swap_sectors_written"][i],
+            )
+    return FigureResult("fig09", series, table.render())
+
+
+def run_fig03(*, scale: int = 1) -> FigureResult:
+    """Regenerate Figure 3: first-iteration read time, four configs."""
+    experiment = SingleVmExperiment(
+        guest_mib=512 / scale,
+        actual_mib=100 / scale,
+        guest_config=scaled_guest_config(512, scale),
+        files=[("sysbench.dat", mib_pages(200 / scale))],
+    )
+    series: dict = {}
+    for spec in standard_configs(FIG03_CONFIGS):
+        workload = SysbenchFileRead(
+            file_pages=mib_pages(200 / scale), iterations=1)
+        result = experiment.run(spec, workload)
+        durations = result.iteration_durations()
+        series[spec.name.value] = durations[0] if durations else None
+
+    table = Table(
+        f"Figure 3 (scale=1/{scale}): time to sequentially read a 200MB "
+        f"file (512MB believed, 100MB actual)",
+        ["config", "runtime [s]"],
+    )
+    for config, runtime in series.items():
+        table.add_row(config, "crashed" if runtime is None
+                      else round(runtime, 2))
+    return FigureResult("fig03", series, table.render())

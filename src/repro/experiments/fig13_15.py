@@ -1,0 +1,118 @@
+"""Figures 13 and 15: the DaCapo Eclipse workload.
+
+Figure 13 sweeps the actual memory grant (512 down to 256 MB) under the
+JVM's cyclic garbage-collection access pattern -- the classic LRU
+pathology.  Ballooning is a few percent faster while it survives but
+the guest kills Eclipse once the grant drops below its footprint.
+
+Figure 15 samples, over time, the guest page cache size (total and
+excluding dirty pages) against the number of pages the Swap Mapper
+tracks: the tracked set should ride the clean-cache curve.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import (
+    ConfigName,
+    FigureResult,
+    RunResult,
+    SingleVmExperiment,
+    scaled_guest_config,
+    standard_configs,
+)
+from repro.metrics.report import Table
+from repro.units import mib_pages
+from repro.workloads.dacapo import EclipseWorkload
+
+FIG13_CONFIGS = (
+    ConfigName.BASELINE,
+    ConfigName.MAPPER,
+    ConfigName.VSWAPPER,
+    ConfigName.BALLOON_BASELINE,
+)
+
+#: The paper's X axis (MiB of actual memory).
+DEFAULT_MEMORY_SWEEP = (512, 448, 384, 320, 256)
+
+
+def make_eclipse(scale: int) -> EclipseWorkload:
+    """An Eclipse workload sized for ``scale``."""
+    return EclipseWorkload(
+        heap_pages=mib_pages(128 / scale),
+        jvm_resident_pages=mib_pages(288 / scale),
+        workspace_pages=mib_pages(160 / scale),
+        min_resident_pages=mib_pages(416 / scale),
+        work_units=max(10, 220 // scale),
+    )
+
+
+def _experiment(scale: int, actual_mib: float,
+                sample_interval: float | None = None) -> SingleVmExperiment:
+    return SingleVmExperiment(
+        guest_mib=512 / scale,
+        actual_mib=actual_mib / scale,
+        guest_config=scaled_guest_config(512, scale),
+        files=[("eclipse-workspace", mib_pages(160 / scale))],
+        sample_interval=sample_interval,
+    )
+
+
+def run_fig13(
+    *,
+    scale: int = 1,
+    memory_sweep_mib: Sequence[int] = DEFAULT_MEMORY_SWEEP,
+    config_names: Sequence[ConfigName] = FIG13_CONFIGS,
+) -> FigureResult:
+    """Regenerate Figure 13: Eclipse runtime vs memory limit."""
+    series: dict = {name.value: {} for name in config_names}
+    for actual_mib in memory_sweep_mib:
+        experiment = _experiment(scale, actual_mib)
+        for spec in standard_configs(config_names):
+            result = experiment.run(spec, make_eclipse(scale))
+            series[spec.name.value][actual_mib] = {
+                "runtime": result.runtime,
+                "crashed": result.crashed,
+            }
+
+    table = Table(
+        f"Figure 13 (scale=1/{scale}): Eclipse (DaCapo) vs memory limit",
+        ["config", "memory [MiB]", "runtime [s]"],
+    )
+    for config, by_memory in series.items():
+        for actual_mib, row in by_memory.items():
+            table.add_row(
+                config, actual_mib,
+                "killed (OOM)" if row["crashed"]
+                else round(row["runtime"], 1))
+    return FigureResult("fig13", series, table.render())
+
+
+def run_fig15(*, scale: int = 1, actual_mib: float = 320,
+              sample_interval: float = 2.0) -> FigureResult:
+    """Regenerate Figure 15: Mapper tracking vs guest page cache."""
+    experiment = _experiment(
+        scale, actual_mib, sample_interval=sample_interval / scale)
+    spec = standard_configs([ConfigName.VSWAPPER])[0]
+    result: RunResult = experiment.run(spec, make_eclipse(scale))
+    timeline = result.timeline
+    times, cache = timeline.series("guest_page_cache")
+    _t2, clean = timeline.series("guest_page_cache_clean")
+    _t3, tracked = timeline.series("mapper_tracked")
+
+    table = Table(
+        f"Figure 15 (scale=1/{scale}): Mapper-tracked pages vs guest "
+        f"page cache over time",
+        ["time [s]", "page cache [pages]", "excl. dirty [pages]",
+         "mapper tracked [pages]"],
+    )
+    for t, total, cln, trk in zip(times, cache, clean, tracked):
+        table.add_row(round(t, 1), int(total), int(cln), int(trk))
+    series = {
+        "time": times,
+        "page_cache": cache,
+        "page_cache_clean": clean,
+        "mapper_tracked": tracked,
+    }
+    return FigureResult("fig15", series, table.render())

@@ -1,0 +1,75 @@
+"""ASCII-chart renderings for the figure-shaped experiment results."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import FigureResult
+from repro.metrics.plot import ascii_bars, ascii_chart
+
+
+def _fig03_chart(result: FigureResult) -> str:
+    return ascii_bars(result.series, title="Figure 3 runtime",
+                      unit="s")
+
+
+def _fig04_chart(result: FigureResult) -> str:
+    return ascii_bars(
+        {k: v["average_runtime"] for k, v in result.series.items()},
+        title="Figure 4 average completion time", unit="s")
+
+
+def _fig09_chart(result: FigureResult) -> str:
+    return ascii_chart(
+        {config: panels["runtime"]
+         for config, panels in result.series.items()},
+        title="Figure 9a runtime per iteration",
+        y_label="seconds")
+
+
+def _sweep_chart(result: FigureResult, title: str) -> str:
+    series = {}
+    for config, by_x in result.series.items():
+        series[config] = [
+            row["runtime"] for row in by_x.values()
+            if not row.get("crashed") and row.get("runtime") is not None
+        ]
+    return ascii_chart(series, title=title, y_label="seconds")
+
+
+def _fig14_chart(result: FigureResult) -> str:
+    series = {
+        config: [row["average_runtime"] for row in by_n.values()]
+        for config, by_n in result.series.items()
+    }
+    return ascii_chart(series, title="Figure 14 avg runtime vs guests",
+                       y_label="seconds")
+
+
+def _fig15_chart(result: FigureResult) -> str:
+    return ascii_chart(
+        {
+            "page cache (clean)": result.series["page_cache_clean"],
+            "mapper tracked": result.series["mapper_tracked"],
+        },
+        title="Figure 15 tracked pages over time", y_label="pages")
+
+
+def chart_for(result: FigureResult) -> str | None:
+    """ASCII chart for a figure result, or None for table-only ones."""
+    figure_id = result.figure_id
+    if figure_id == "fig03":
+        return _fig03_chart(result)
+    if figure_id == "fig04":
+        return _fig04_chart(result)
+    if figure_id == "fig09":
+        return _fig09_chart(result)
+    if figure_id in ("fig05+fig11", "fig11"):
+        return _sweep_chart(result, "Figure 5 runtime vs memory grant")
+    if figure_id == "fig12":
+        return _sweep_chart(result, "Figure 12 runtime vs memory grant")
+    if figure_id == "fig13":
+        return _sweep_chart(result, "Figure 13 runtime vs memory limit")
+    if figure_id == "fig14":
+        return _fig14_chart(result)
+    if figure_id == "fig15":
+        return _fig15_chart(result)
+    return None

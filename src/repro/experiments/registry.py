@@ -1,0 +1,75 @@
+"""Registry mapping experiment ids to their harness functions.
+
+The CLI and the benchmark suite both resolve experiments through this
+table, so the set of reproducible results lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    run_cluster_ablation,
+    run_dirty_bit_ablation,
+    run_preventer_param_ablation,
+    run_ssd_ablation,
+)
+from repro.experiments.dynamic import run_fig04, run_fig14
+from repro.experiments.migration import run_migration_study
+from repro.experiments.fig05_11 import run_fig05_fig11
+from repro.experiments.fig09 import run_fig03, run_fig09
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13_15 import run_fig13, run_fig15
+from repro.experiments.runner import FigureResult
+from repro.experiments.sec53 import run_sec53
+from repro.experiments.sec54 import run_sec54
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+#: Experiment id -> harness.  All harnesses accept ``scale`` except
+#: Table 1 (pure static analysis).
+EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
+    "fig3": run_fig03,
+    "fig4": run_fig04,
+    "fig5": run_fig05_fig11,   # Figure 5 and Figure 11 share a run
+    "fig9": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig05_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "table1": run_table1,
+    "table2": run_table2,
+    "sec5.3": run_sec53,
+    "sec5.4": run_sec54,
+    "ablation-dirty-bit": run_dirty_bit_ablation,
+    "ablation-ssd": run_ssd_ablation,
+    "ablation-preventer": run_preventer_param_ablation,
+    "ablation-cluster": run_cluster_ablation,
+    "migration-study": run_migration_study,
+}
+
+#: Experiments whose harness takes no ``scale`` parameter.
+UNSCALED = frozenset({"table1"})
+
+
+def run_experiment(experiment_id: str, *, scale: int = 1) -> FigureResult:
+    """Run one experiment by id."""
+    try:
+        harness = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    if experiment_id in UNSCALED:
+        return harness()
+    return harness(scale=scale)
+
+
+def experiment_ids() -> list[str]:
+    """All known experiment ids, sorted."""
+    return sorted(EXPERIMENTS)

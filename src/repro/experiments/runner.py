@@ -1,0 +1,258 @@
+"""Shared experiment machinery.
+
+The paper evaluates five configurations (Section 5): *baseline*
+(uncooperative swapping only), *balloon* (+ baseline fallback),
+*mapper* (VSwapper without the Preventer), *vswapper* (both
+components), and *balloon + vswapper*.  :func:`standard_configs` builds
+them; :class:`SingleVmExperiment` runs one workload under one of them
+with a fixed actual-memory grant (the Section 5.1 controlled setup).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.config import (
+    GuestConfig,
+    MachineConfig,
+    VmConfig,
+    VSwapperConfig,
+)
+from repro.driver import VmDriver
+from repro.errors import ExperimentError, GuestOomKill
+from repro.machine import Machine
+from repro.metrics.timeline import Timeline
+from repro.units import mib_pages
+from repro.workloads.base import Workload
+
+
+class ConfigName(str, enum.Enum):
+    """The paper's evaluated configurations."""
+
+    BASELINE = "baseline"
+    BALLOON_BASELINE = "balloon+base"
+    MAPPER = "mapper"
+    VSWAPPER = "vswapper"
+    BALLOON_VSWAPPER = "balloon+vswap"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """How one named configuration is realized."""
+
+    name: ConfigName
+    vswapper: VSwapperConfig
+    ballooned: bool
+
+
+def standard_configs(
+    names: Sequence[ConfigName] | None = None) -> list[ConfigSpec]:
+    """The evaluated configuration matrix, in the paper's order."""
+    all_specs = [
+        ConfigSpec(ConfigName.BASELINE, VSwapperConfig.off(), False),
+        ConfigSpec(ConfigName.BALLOON_BASELINE, VSwapperConfig.off(), True),
+        ConfigSpec(ConfigName.MAPPER, VSwapperConfig.mapper_only(), False),
+        ConfigSpec(ConfigName.VSWAPPER, VSwapperConfig.full(), False),
+        ConfigSpec(ConfigName.BALLOON_VSWAPPER, VSwapperConfig.full(), True),
+    ]
+    if names is None:
+        return all_specs
+    wanted = set(names)
+    return [s for s in all_specs if s.name in wanted]
+
+
+@dataclass
+class PhaseMark:
+    """One MarkPhase observation, with a counter snapshot at that time."""
+
+    name: str
+    payload: dict
+    time: float
+    counters: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run under one configuration."""
+
+    config: ConfigName
+    runtime: float | None
+    crashed: bool
+    counters: dict[str, int]
+    phases: list[PhaseMark] = field(default_factory=list)
+    timeline: Timeline | None = None
+
+    def phase_times(self, name: str) -> list[float]:
+        """Times of every occurrence of phase ``name``."""
+        return [p.time for p in self.phases if p.name == name]
+
+    def iteration_durations(self) -> list[float]:
+        """Durations between iteration-start/iteration-end pairs."""
+        starts = self.phase_times("iteration-start")
+        ends = self.phase_times("iteration-end")
+        if len(starts) != len(ends):
+            raise ExperimentError(
+                f"unbalanced iteration marks: {len(starts)} starts, "
+                f"{len(ends)} ends")
+        return [e - s for s, e in zip(starts, ends)]
+
+    def iteration_counter_deltas(self, counter: str) -> list[int]:
+        """Per-iteration change of one counter (Figure 9b--9d series)."""
+        starts = [p for p in self.phases if p.name == "iteration-start"]
+        ends = [p for p in self.phases if p.name == "iteration-end"]
+        if len(starts) != len(ends):
+            raise ExperimentError("unbalanced iteration marks")
+        return [
+            e.counters.get(counter, 0) - s.counters.get(counter, 0)
+            for s, e in zip(starts, ends)
+        ]
+
+
+@dataclass
+class FigureResult:
+    """A regenerated table/figure: raw series plus rendered text."""
+
+    figure_id: str
+    series: dict
+    rendered: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.rendered
+
+
+def scaled_guest_config(guest_mib: float, scale: int,
+                        **overrides) -> GuestConfig:
+    """A GuestConfig with memory *and* kernel reserve scaled together.
+
+    Keeping the reserve proportional preserves OOM crossover points
+    when experiments run at reduced scale.
+    """
+    defaults = dict(
+        memory_pages=mib_pages(guest_mib / scale),
+        kernel_reserve_pages=mib_pages(16 / scale),
+        guest_swap_pages=mib_pages(1024 / scale),
+    )
+    defaults.update(overrides)
+    return GuestConfig(**defaults)
+
+
+class SingleVmExperiment:
+    """Controlled-memory-assignment harness (Section 5.1).
+
+    One guest that believes it has ``guest_mib`` of memory while the
+    host actually grants ``actual_mib``: balloon configurations inform
+    the guest by statically inflating ``guest - actual``; uncooperative
+    configurations enforce it with a resident limit.
+    """
+
+    def __init__(
+        self,
+        *,
+        guest_mib: float = 512,
+        actual_mib: float = 100,
+        machine_config: MachineConfig | None = None,
+        guest_config: GuestConfig | None = None,
+        files: Sequence[tuple[str, int]] = (),
+        sample_interval: float | None = None,
+        gauges: dict[str, Callable[["Machine"], float]] | None = None,
+        boot: bool = True,
+        balloon_deficit_pages: int = 0,
+    ) -> None:
+        self.guest_pages = mib_pages(guest_mib)
+        self.actual_pages = mib_pages(actual_mib)
+        if self.actual_pages > self.guest_pages:
+            raise ExperimentError(
+                f"actual memory ({actual_mib} MiB) exceeds guest memory "
+                f"({guest_mib} MiB)")
+        self.machine_config = machine_config or MachineConfig()
+        self.guest_config = guest_config or GuestConfig(
+            memory_pages=self.guest_pages)
+        self.files = list(files)
+        self.sample_interval = sample_interval
+        self.gauges = gauges or {}
+        self.boot = boot
+        #: Pages by which a static balloon falls short of covering the
+        #: whole grant gap (models reservations below guest size, as in
+        #: the Table 2 VMware setup): the host must still swap the rest.
+        self.balloon_deficit_pages = balloon_deficit_pages
+
+    def run(self, spec: ConfigSpec, workload: Workload) -> RunResult:
+        """Execute ``workload`` under configuration ``spec``."""
+        machine = Machine(self.machine_config)
+        guest_cfg = self.guest_config
+        if guest_cfg.memory_pages != self.guest_pages:
+            raise ExperimentError(
+                "guest_config.memory_pages disagrees with guest_mib")
+        balloon = (max(0, self.guest_pages - self.actual_pages
+                       - self.balloon_deficit_pages)
+                   if spec.ballooned else 0)
+        vm_config = VmConfig(
+            name="vm0",
+            guest=guest_cfg,
+            vswapper=spec.vswapper,
+            resident_limit_pages=self.actual_pages,
+        )
+        phases: list[PhaseMark] = []
+        vm = machine.create_vm(vm_config)
+        if self.boot:
+            # Uptime history first, then the balloon policy -- the
+            # order a real deployment experiences them in.
+            machine.boot_guest(vm)
+        try:
+            if balloon:
+                machine.apply_static_balloon(vm, balloon)
+        except GuestOomKill:
+            # Over-ballooning killed the workload during static setup.
+            return RunResult(spec.name, None, True, {}, phases)
+
+        def on_phase(name: str, payload: dict, time: float) -> None:
+            phases.append(
+                PhaseMark(name, payload, time, vm.counters.snapshot()))
+        for file_name, file_pages in self.files:
+            vm.guest.fs.create_file(file_name, file_pages)
+
+        timeline = None
+        if self.sample_interval is not None:
+            timeline = Timeline()
+            self._register_gauges(timeline, machine, vm)
+            machine.engine.add_periodic(
+                self.sample_interval,
+                lambda: timeline.sample_all(machine.now))
+
+        driver = VmDriver(machine, vm, workload, phase_callback=on_phase)
+        self._run_to_completion(machine, driver)
+        runtime = None if driver.crashed else driver.runtime
+        return RunResult(
+            spec.name, runtime, driver.crashed,
+            vm.counters.snapshot(), phases, timeline)
+
+    def _register_gauges(self, timeline: Timeline, machine: Machine,
+                         vm) -> None:
+        timeline.register(
+            "guest_page_cache", lambda: vm.guest.cache.cached_pages)
+        timeline.register(
+            "guest_page_cache_clean", lambda: vm.guest.cache.clean_pages)
+        timeline.register(
+            "mapper_tracked",
+            lambda: (vm.mapper.tracked_pages if vm.mapper else 0))
+        for name, gauge in self.gauges.items():
+            timeline.register(name, lambda gauge=gauge: gauge(machine))
+
+    @staticmethod
+    def _run_to_completion(machine: Machine, driver: VmDriver) -> None:
+        """Run the engine until the driver finishes.
+
+        Periodic tasks (timeline sampling) would keep the queue alive
+        forever, so the engine is stopped once the workload is done.
+        """
+        # Run in slices: cheap because the engine just drains events.
+        while not driver.done:
+            if machine.engine.pending_events() == 0:
+                raise ExperimentError("engine drained before completion")
+            machine.engine.run(until=machine.now + 30.0)
+        machine.engine.stop()

@@ -1,0 +1,28 @@
+"""Guest operating-system model.
+
+The guest is an *unmodified* OS from the host's point of view: it
+believes it owns ``GuestConfig.memory_pages`` of RAM, caches file
+content aggressively, reclaims with its own LRU, and swaps to a region
+of its own virtual disk.  Every pathological host interaction the paper
+describes (Section 3) arises from this model running over the
+:mod:`repro.host` hypervisor with less actual memory than the guest
+believes it has.
+"""
+
+from repro.guest.filesystem import GuestFile, GuestFilesystem
+from repro.guest.guestswap import GuestSwapDevice
+from repro.guest.pagecache import CachedPage, GuestPageCache
+from repro.guest.anon import AnonRegion, GuestAnonMemory, PageLocation
+from repro.guest.kernel import GuestKernel
+
+__all__ = [
+    "GuestFile",
+    "GuestFilesystem",
+    "GuestSwapDevice",
+    "CachedPage",
+    "GuestPageCache",
+    "AnonRegion",
+    "GuestAnonMemory",
+    "PageLocation",
+    "GuestKernel",
+]

@@ -1,0 +1,57 @@
+"""The guest's own swap device: a slot allocator over its virtual disk.
+
+When ballooning (or plain guest memory pressure) forces the guest to
+reclaim anonymous pages, it writes them here -- which from the host's
+point of view is ordinary virtual-disk I/O (Figure 2 in the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import GuestError
+
+
+class GuestSwapDevice:
+    """Page-sized swap slots living in the image's swap partition."""
+
+    def __init__(self, start_block: int, size_pages: int) -> None:
+        if size_pages < 0:
+            raise GuestError(f"negative swap size: {size_pages}")
+        self.start_block = start_block
+        self.size_pages = size_pages
+        self._free: list[int] = list(range(size_pages))
+        heapq.heapify(self._free)
+        self._used: set[int] = set()
+
+    @property
+    def used_slots(self) -> int:
+        """Slots holding swapped-out guest pages."""
+        return len(self._used)
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available."""
+        return self.size_pages - len(self._used)
+
+    def allocate(self) -> int:
+        """Take the lowest free slot; raises when the device is full."""
+        while self._free:
+            slot = heapq.heappop(self._free)
+            if slot not in self._used:
+                self._used.add(slot)
+                return slot
+        raise GuestError("guest swap device full")
+
+    def free(self, slot: int) -> None:
+        """Release a slot after swap-in."""
+        if slot not in self._used:
+            raise GuestError(f"double free of guest swap slot {slot}")
+        self._used.remove(slot)
+        heapq.heappush(self._free, slot)
+
+    def block_of(self, slot: int) -> int:
+        """Image block corresponding to a slot."""
+        if not 0 <= slot < self.size_pages:
+            raise GuestError(f"slot {slot} outside guest swap device")
+        return self.start_block + slot

@@ -1,0 +1,103 @@
+"""The guest's file page cache.
+
+General-purpose OSes keep file content cached "long after the content
+is used, in the hope that it will get re-used" (paper, Section 3).
+Against an uncooperative host this aggressiveness is the root of the
+trouble: the guest happily fills its *believed* memory with cache while
+the host silently swaps the excess out underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GuestError
+
+
+@dataclass
+class CachedPage:
+    """Guest-side descriptor of one cached file page."""
+
+    block: int
+    dirty: bool = False
+
+
+class GuestPageCache:
+    """block => GPA cache with dirty tracking."""
+
+    def __init__(self) -> None:
+        self._by_block: dict[int, int] = {}
+        self._by_gpa: dict[int, CachedPage] = {}
+        self._dirty_gpas: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._by_gpa)
+
+    @property
+    def cached_pages(self) -> int:
+        """Total pages in the cache."""
+        return len(self._by_gpa)
+
+    @property
+    def dirty_pages(self) -> int:
+        """Pages awaiting write-back."""
+        return len(self._dirty_gpas)
+
+    @property
+    def clean_pages(self) -> int:
+        """Pages droppable without I/O."""
+        return len(self._by_gpa) - len(self._dirty_gpas)
+
+    def lookup(self, block: int) -> int | None:
+        """GPA caching ``block``, or None on a miss."""
+        return self._by_block.get(block)
+
+    def describe(self, gpa: int) -> CachedPage | None:
+        """Cache descriptor for a GPA, or None if not a cache page."""
+        return self._by_gpa.get(gpa)
+
+    def insert(self, block: int, gpa: int, *, dirty: bool) -> None:
+        """Cache ``block`` at ``gpa``."""
+        if block in self._by_block:
+            raise GuestError(f"block {block} already cached")
+        if gpa in self._by_gpa:
+            raise GuestError(f"GPA {gpa:#x} already holds a cache page")
+        self._by_block[block] = gpa
+        self._by_gpa[gpa] = CachedPage(block, dirty)
+        if dirty:
+            self._dirty_gpas.add(gpa)
+
+    def mark_dirty(self, gpa: int) -> None:
+        """Record an in-memory modification of a cached page."""
+        page = self._require(gpa)
+        page.dirty = True
+        self._dirty_gpas.add(gpa)
+
+    def mark_clean(self, gpa: int) -> None:
+        """Record a completed write-back."""
+        page = self._require(gpa)
+        page.dirty = False
+        self._dirty_gpas.discard(gpa)
+
+    def remove(self, gpa: int) -> CachedPage:
+        """Evict a page from the cache, returning its descriptor."""
+        page = self._by_gpa.pop(gpa, None)
+        if page is None:
+            raise GuestError(f"GPA {gpa:#x} not in page cache")
+        del self._by_block[page.block]
+        self._dirty_gpas.discard(gpa)
+        return page
+
+    def dirty_gpas_snapshot(self) -> list[int]:
+        """Dirty GPAs (write-back candidates), unordered."""
+        return list(self._dirty_gpas)
+
+    def clean_gpas_snapshot(self) -> list[int]:
+        """Clean GPAs (drop candidates), unordered."""
+        return [g for g in self._by_gpa if g not in self._dirty_gpas]
+
+    def _require(self, gpa: int) -> CachedPage:
+        page = self._by_gpa.get(gpa)
+        if page is None:
+            raise GuestError(f"GPA {gpa:#x} not in page cache")
+        return page

@@ -1,0 +1,15 @@
+"""Hypervisor-side models: the KVM-like host kernel and QEMU process.
+
+This package owns every host action the paper's Section 3 dissects:
+uncooperative swap-out (silent writes), the virtual I/O path (stale
+reads), whole-page overwrite handling (false reads), swap-slot layout
+(decayed sequentiality), and the reclaim treatment of the hypervisor
+executable (false page anonymity).
+"""
+
+from repro.host.interface import HostServices
+from repro.host.vm import Vm
+from repro.host.qemu import QemuProcess
+from repro.host.hypervisor import Hypervisor
+
+__all__ = ["HostServices", "Vm", "QemuProcess", "Hypervisor"]

@@ -1,0 +1,785 @@
+"""The hypervisor: uncooperative swapping and the virtual I/O path.
+
+This module contains every mechanism the paper characterizes:
+
+* **swap-out** of reclaimed guest pages -- always written because the
+  hardware exposes no dirty bit for guest pages (silent swap writes);
+* the **virtio read path** that must fault swapped destinations in
+  before DMA (stale swap reads);
+* **whole-page overwrite** handling (false swap reads), where the
+  False Reads Preventer hooks in;
+* the **swap-slot allocator + cluster readahead** whose interaction
+  produces decayed swap sequentiality; and
+* reclaim of the **QEMU executable** as the only named memory in the
+  baseline (false page anonymity).
+
+When a VM carries a Swap Mapper, reclaim discards tracked pages and
+faults refill from the disk image with sequential readahead instead.
+"""
+
+from __future__ import annotations
+
+from repro.config import HostConfig
+from repro.core.mapper import TrackState
+from repro.core.preventer import OverwriteVerdict
+from repro.disk.device import DiskDevice
+from repro.disk.swaparea import HostSwapArea
+from repro.errors import ConsistencyError, HostError
+from repro.guest.kernel import Transfer
+from repro.mem.frames import FramePool
+from repro.mem.page import ZERO, AnonContent, PageContent
+from repro.host.vm import Vm, code_key
+from repro.sim.clock import Clock
+from repro.sim.ops import WritePattern
+from repro.units import SECTORS_PER_PAGE
+
+
+#: Largest virtio request processed (and DMA-pinned) at once; bigger
+#: guest requests are split, as real virtio rings would.
+VIRTIO_MAX_SEGMENT_PAGES = 256
+
+
+class Hypervisor:
+    """Machine-wide host kernel + per-VM QEMU behaviour."""
+
+    def __init__(self, clock: Clock, disk: DiskDevice, frames: FramePool,
+                 swap_area: HostSwapArea, cfg: HostConfig,
+                 rng=None) -> None:
+        cfg.validate()
+        self.clock = clock
+        self.disk = disk
+        self.frames = frames
+        self.swap_area = swap_area
+        self.cfg = cfg
+        self.rng = rng
+        self.vms: list[Vm] = []
+        #: host swap slot -> (vm, gpa) owning its content.
+        self.slot_owner: dict[int, tuple[Vm, int]] = {}
+
+    def register_vm(self, vm: Vm) -> None:
+        """Add a VM to the reclaim population."""
+        self.vms.append(vm)
+
+    # ==================================================================
+    # guest-facing entry points (called by GuestKernel)
+    # ==================================================================
+
+    def touch_page(self, vm: Vm, gpa: int, *, write: bool = False,
+                   new_content: PageContent | None = None,
+                   context: str = "guest") -> None:
+        """A guest load or store to ``gpa``."""
+        self._poll_preventer(vm)
+        preventer = vm.preventer
+        if preventer is not None and preventer.is_emulated(gpa):
+            # Guest touches data the buffer does not fully cover: stop
+            # emulating, read the old content, merge (paper: suspend).
+            preventer.force_close(gpa)
+            vm.counters.preventer_merges += 1
+            self._merge_buffered_page(vm, gpa, sync=True, context=context)
+        elif not vm.ept.is_present(gpa):
+            if self._promote_swap_cache(vm, gpa):
+                pass  # readahead already brought the page in
+            elif gpa in vm.swap_slots or self._is_discarded(vm, gpa):
+                self._fault_in(vm, gpa, context)
+            else:
+                self._map_fresh(vm, gpa, context)
+        vm.ept.mark_accessed(gpa, write=write)
+        if write:
+            self._guest_store(vm, gpa, new_content)
+
+    def overwrite_page(self, vm: Vm, gpa: int, new_content: PageContent,
+                       pattern: WritePattern,
+                       context: str = "guest") -> None:
+        """The guest overwrites ``gpa`` wholesale, old content unwanted.
+
+        This is the false-swap-read trigger: zeroing, COW, page
+        migration (Section 3, "False Swap Reads").
+        """
+        self._poll_preventer(vm)
+        if vm.ept.is_present(gpa) or self._promote_swap_cache(vm, gpa):
+            vm.ept.mark_accessed(gpa, write=True)
+            self._guest_store(vm, gpa, new_content)
+            return
+        has_old = gpa in vm.swap_slots or self._is_discarded(vm, gpa)
+        if not has_old:
+            self._map_fresh(vm, gpa, context)
+            vm.ept.mark_accessed(gpa, write=True)
+            self._guest_store(vm, gpa, new_content)
+            return
+
+        preventer = vm.preventer
+        if preventer is not None:
+            verdict = preventer.classify_overwrite(
+                gpa, pattern, self.clock.now)
+            vm.costs.cpu(preventer.emulation_cost(pattern))
+            vm.counters.preventer_emulated_writes += 1
+            if verdict is OverwriteVerdict.REMAP:
+                self._drop_old_backing(vm, gpa)
+                self._map_fresh(vm, gpa, context)
+                vm.ept.mark_accessed(gpa, write=True)
+                vm.ept.entry(gpa).dirty = True
+                vm.set_content(gpa, new_content)
+                vm.counters.preventer_remaps += 1
+                return
+            if verdict is OverwriteVerdict.BUFFERED:
+                # The page stays non-present; the buffer holds the new
+                # bytes.  Record the eventual content now -- the merge
+                # (on expiry) fills in whatever was not overwritten.
+                vm.set_content(gpa, new_content)
+                return
+            # FALLBACK: fall through to the baseline false read.
+
+        self._fault_in(vm, gpa, context)
+        vm.counters.false_reads += 1
+        vm.ept.mark_accessed(gpa, write=True)
+        self._guest_store(vm, gpa, new_content)
+
+    def virtio_read(self, vm: Vm, transfers: list[Transfer],
+                    context: str = "host") -> None:
+        """Explicit guest disk read: image blocks DMA'd into guest pages."""
+        self._poll_preventer(vm)
+        self._touch_code(vm, self.cfg.code_pages_per_io)
+        mapper = vm.mapper
+        for start in range(0, len(transfers), VIRTIO_MAX_SEGMENT_PAGES):
+            chunk = transfers[start:start + VIRTIO_MAX_SEGMENT_PAGES]
+            vm.io_pinned.update(t.gpa for t in chunk)
+            try:
+                self._virtio_read_locked(vm, chunk, mapper)
+            finally:
+                vm.io_pinned.difference_update(t.gpa for t in chunk)
+        vm.refresh_gauges()
+
+    def _virtio_read_locked(self, vm: Vm, transfers: list[Transfer],
+                            mapper) -> None:
+        for t in transfers:
+            preventer = vm.preventer
+            if preventer is not None and preventer.is_emulated(t.gpa):
+                # DMA will overwrite the whole page: the buffer and the
+                # old content are both moot.
+                preventer.force_close(t.gpa)
+                self._drop_old_backing(vm, t.gpa)
+            if vm.ept.is_present(t.gpa) or self._promote_swap_cache(vm, t.gpa):
+                vm.ept.mark_accessed(t.gpa, write=True)
+                continue
+            if t.gpa in vm.swap_slots:
+                # The destination frame was swapped out: the host must
+                # fault its *old* content in just to overwrite it.
+                self._fault_in(vm, t.gpa, "host", stale=True)
+            elif self._is_discarded(vm, t.gpa):
+                # Mapper knows the old content is about to be replaced:
+                # drop the association, map a fresh frame, no read.
+                mapper.drop_gpa(t.gpa)
+                self._map_fresh(vm, t.gpa, "host")
+            else:
+                self._map_fresh(vm, t.gpa, "host")
+            vm.ept.mark_accessed(t.gpa, write=True)
+
+        for start, count in self._block_runs(transfers):
+            stall = self.disk.read(
+                vm.image.sector_of(start), count * SECTORS_PER_PAGE,
+                region=vm.image.region.name)
+            vm.costs.io(stall)
+            vm.counters.disk_ops += 1
+            vm.counters.virtual_io_sectors += count * SECTORS_PER_PAGE
+
+        for t in transfers:
+            if mapper is not None and mapper.is_tracked_resident(t.gpa):
+                mapper.drop_gpa(t.gpa)  # DMA replaced the old bytes
+            vm.set_content(t.gpa, vm.image.current(t.block))
+            entry = vm.ept.entry(t.gpa)
+            entry.dirty = False
+            self._invalidate_swap_clean(vm, t.gpa)
+            if mapper is not None and t.aligned:
+                mapper.track(t.gpa, t.block)
+                vm.scanner.change_kind(t.gpa, named=True)
+                vm.costs.cpu(self.cfg.mmap_page_cost)
+            else:
+                vm.scanner.change_kind(t.gpa, named=False)
+
+    def virtio_write(self, vm: Vm, transfers: list[Transfer],
+                     sync: bool = False) -> None:
+        """Explicit guest disk write: guest pages DMA'd to image blocks."""
+        self._poll_preventer(vm)
+        self._touch_code(vm, self.cfg.code_pages_per_io)
+        mapper = vm.mapper
+        for start in range(0, len(transfers), VIRTIO_MAX_SEGMENT_PAGES):
+            chunk = transfers[start:start + VIRTIO_MAX_SEGMENT_PAGES]
+            vm.io_pinned.update(t.gpa for t in chunk)
+            try:
+                self._virtio_write_locked(vm, chunk, mapper, sync)
+            finally:
+                vm.io_pinned.difference_update(t.gpa for t in chunk)
+        vm.refresh_gauges()
+
+    def _virtio_write_locked(self, vm: Vm, transfers: list[Transfer],
+                             mapper, sync: bool) -> None:
+        for t in transfers:
+            if mapper is not None:
+                self._invalidate_block_for_write(vm, t.block, t.gpa)
+            preventer = vm.preventer
+            if preventer is not None and preventer.is_emulated(t.gpa):
+                # DMA must read the page: finish the emulation first.
+                preventer.force_close(t.gpa)
+                vm.counters.preventer_merges += 1
+                self._merge_buffered_page(vm, t.gpa, sync=True,
+                                          context="host")
+            elif not vm.ept.is_present(t.gpa):
+                if self._promote_swap_cache(vm, t.gpa):
+                    pass
+                elif t.gpa in vm.swap_slots or self._is_discarded(vm, t.gpa):
+                    # Double paging flavour: the guest writes out a page
+                    # the host had already swapped out.
+                    self._fault_in(vm, t.gpa, "host")
+                    vm.counters.double_paging += 1
+                else:
+                    self._map_fresh(vm, t.gpa, "host")
+            vm.ept.mark_accessed(t.gpa)
+
+        for start, count in self._block_runs(transfers):
+            sector = vm.image.sector_of(start)
+            nsectors = count * SECTORS_PER_PAGE
+            if sync:
+                stall = self.disk.write_sync(
+                    sector, nsectors, region=vm.image.region.name)
+                vm.costs.io(stall)
+            else:
+                throttle = self.disk.write_async(
+                    sector, nsectors, region=vm.image.region.name)
+                if throttle:
+                    vm.costs.io(throttle)
+            vm.counters.disk_ops += 1
+            vm.counters.virtual_io_sectors += nsectors
+
+        for t in transfers:
+            new_version = vm.image.write(t.block)
+            # The bytes on disk are now exactly the page's bytes.
+            vm.set_content(t.gpa, new_version)
+            vm.ept.entry(t.gpa).dirty = False
+            self._invalidate_swap_clean(vm, t.gpa)
+            if mapper is not None and t.aligned:
+                mapper.track(t.gpa, t.block)
+                vm.scanner.change_kind(t.gpa, named=True)
+                vm.costs.cpu(self.cfg.mmap_page_cost)
+
+    def balloon_pin(self, vm: Vm, gpas: list[int]) -> None:
+        """The guest balloon pinned ``gpas``: release their host backing."""
+        for gpa in gpas:
+            if vm.preventer is not None:
+                vm.preventer.force_close(gpa)
+            if vm.ept.is_present(gpa):
+                vm.ept.unmap_page(gpa)
+                self.frames.release(1)
+                vm.scanner.note_evicted(gpa)
+            if gpa in vm.swap_cache:
+                del vm.swap_cache[gpa]
+                self.frames.release(1)
+                vm.scanner.note_evicted(gpa)
+            slot = vm.swap_slots.pop(gpa, None)
+            if slot is not None:
+                vm.pending_swap.pop(gpa, None)
+                self.swap_area.free(slot)
+                self.slot_owner.pop(slot, None)
+            self._invalidate_swap_clean(vm, gpa)
+            if vm.mapper is not None:
+                vm.mapper.drop_gpa(gpa)
+            vm.set_content(gpa, ZERO)
+            vm.ballooned.add(gpa)
+        vm.refresh_gauges()
+
+    def balloon_unpin(self, vm: Vm, gpas: list[int]) -> None:
+        """Balloon deflation: pages return to the guest, content undefined."""
+        for gpa in gpas:
+            vm.ballooned.discard(gpa)
+
+    def page_needs_zeroing(self, vm: Vm, gpa: int) -> bool:
+        """Whether a free guest page holds stale non-zero bytes
+        (probed by the Windows zero-page thread)."""
+        return vm.content_of(gpa) is not ZERO
+
+    # ==================================================================
+    # fault handling
+    # ==================================================================
+
+    def _fault_in(self, vm: Vm, gpa: int, context: str,
+                  stale: bool = False) -> None:
+        """Major fault: bring swapped/discarded content back to memory."""
+        if gpa in vm.pending_swap:
+            # Swap cache hit: the eviction's write never reached disk,
+            # so the page is still in memory -- cancel and remap.
+            self._cancel_pending_swap(vm, gpa)
+            self._make_room(vm, 1, context)
+            vm.ept.map_page(gpa, accessed=True, dirty=False)
+            self.frames.allocate(1)
+            vm.scanner.note_resident(gpa, named=False)
+            vm.costs.cpu(self.cfg.minor_fault_cost)
+            vm.counters.bump("swap_cache_hits")
+            return
+        if context == "guest":
+            vm.counters.guest_context_faults += 1
+        else:
+            vm.counters.host_context_faults += 1
+        if stale:
+            vm.counters.stale_reads += 1
+        self._touch_code(vm, self.cfg.code_pages_per_fault)
+        if gpa in vm.swap_slots:
+            self._swap_in(vm, gpa, context)
+        elif self._is_discarded(vm, gpa):
+            self._refault_from_image(vm, gpa, context)
+        else:
+            raise HostError(
+                f"fault on {gpa:#x} with no swapped or discarded backing")
+        vm.costs.cpu(self.cfg.ept_fault_cost)
+
+    def _swap_in(self, vm: Vm, gpa: int, context: str) -> None:
+        """Read a cluster around the faulting slot (swap readahead).
+
+        The cluster's *usefulness* -- whether neighbouring slots hold
+        pages this guest will touch next -- is exactly what decays as
+        the swap area loses sequentiality.
+        """
+        slot = vm.swap_slots[gpa]
+        cluster = self.swap_area.cluster_of(slot, self.cfg.swap_cluster_pages)
+        on_disk: list[tuple[int, int]] = []   # (slot, gpa) needing a read
+        for s in cluster:
+            owner = self.slot_owner.get(s)
+            if owner is None or owner[0] is not vm:
+                continue
+            g = owner[1]
+            if g not in vm.swap_slots or g in vm.swap_clean:
+                continue
+            if g in vm.pending_swap or g in vm.swap_cache:
+                continue  # already resident in host memory
+            on_disk.append((s, g))
+        if not any(s == slot for s, _ in on_disk):
+            raise HostError(f"swap slot {slot} not readable")
+        first = min(s for s, _ in on_disk)
+        last = max(s for s, _ in on_disk)
+        nsectors = (last - first + 1) * SECTORS_PER_PAGE
+        stall = self.disk.read(
+            self.swap_area.sector_of(first), nsectors, region="host-swap")
+        self._charge_stall(vm, stall, context)
+        vm.counters.disk_ops += 1
+        vm.counters.swap_sectors_read += nsectors
+
+        self._make_room(vm, len(on_disk), context)
+        for s, g in on_disk:
+            self.frames.allocate(1)
+            if g == gpa:
+                # The page the guest actually wants: EPT-map it.  With
+                # no hardware dirty bit the host must now assume it
+                # dirty, so the slot is released (a later eviction will
+                # rewrite it -- the silent-write pessimism).
+                del vm.swap_slots[g]
+                del self.slot_owner[s]
+                vm.ept.map_page(g, accessed=True, dirty=False)
+                vm.scanner.note_resident(g, named=False)
+                if self.cfg.hardware_dirty_bit:
+                    # Ablation: keep the slot; its copy stays valid
+                    # until the guest really dirties the page.
+                    vm.swap_clean[g] = s
+                    self.slot_owner[s] = (vm, g)
+                else:
+                    self.swap_area.free(s)
+            else:
+                # Readahead neighbour: parked in the host swap cache,
+                # clean, slot retained.  A guest touch promotes it; a
+                # reclaim drop costs nothing.  Crucially it enters the
+                # LRU *now*, in slot order -- the next eviction cycle
+                # inherits this ordering, which is how swap-layout
+                # disorder compounds across cycles (decayed swap
+                # sequentiality).
+                vm.swap_cache[g] = s
+                vm.scanner.note_resident(g, named=False)
+
+    def _refault_from_image(self, vm: Vm, gpa: int, context: str,
+                            readahead: int | None = None) -> None:
+        """Mapper path: re-read a discarded page from the disk image,
+        prefetching neighbouring discarded blocks (sequential layout)."""
+        mapper = vm.mapper
+        if mapper is None:
+            raise HostError("image refault without a mapper")
+        block = mapper.block_of(gpa)
+        window = readahead if readahead is not None \
+            else self.cfg.image_readahead_pages
+        targets: list[tuple[int, int]] = [(block, gpa)]
+        for b in range(block + 1, min(block + window, vm.image.size_blocks)):
+            g2 = mapper.discarded_gpa_for_block(b)
+            if g2 is None:
+                break  # keep the read contiguous
+            targets.append((b, g2))
+        first = targets[0][0]
+        last = targets[-1][0]
+        nsectors = (last - first + 1) * SECTORS_PER_PAGE
+        stall = self.disk.read(
+            vm.image.sector_of(first), nsectors,
+            region=vm.image.region.name)
+        self._charge_stall(vm, stall, context)
+        vm.counters.disk_ops += 1
+        vm.counters.bump("image_refault_sectors", nsectors)
+
+        self._make_room(vm, len(targets), context)
+        for b, g in targets:
+            if not vm.image.matches(b, vm.content_of(g)):
+                raise ConsistencyError(
+                    f"tracked page {g:#x} no longer matches block {b}")
+            mapper.mark_refaulted(g)
+            vm.ept.map_page(g, accessed=(g == gpa), dirty=False)
+            self.frames.allocate(1)
+            vm.scanner.note_resident(g, named=True)
+
+    def _map_fresh(self, vm: Vm, gpa: int, context: str) -> None:
+        """Minor fault: map a frame with no disk content to read."""
+        self._make_room(vm, 1, context)
+        vm.ept.map_page(gpa, accessed=True, dirty=False)
+        self.frames.allocate(1)
+        vm.scanner.note_resident(gpa, named=False)
+        vm.costs.cpu(self.cfg.ept_fault_cost)
+        vm.counters.bump("minor_faults")
+
+    # ==================================================================
+    # reclaim
+    # ==================================================================
+
+    def _make_room(self, vm: Vm, need: int, context: str) -> None:
+        """Ensure ``need`` frames can be mapped for ``vm``.
+
+        Clean swap-cache pages go first (free to drop), then the clock
+        scan picks real victims.
+        """
+        limit = vm.resident_limit
+        if limit is not None:
+            while vm.resident_pages + need > limit:
+                self._evict_batch(vm, self.cfg.reclaim_batch_pages, context)
+        while not self.frames.can_allocate(need):
+            victim = self._pick_global_victim()
+            self._evict_batch(victim, self.cfg.reclaim_batch_pages, context)
+
+    def _promote_swap_cache(self, vm: Vm, gpa: int) -> bool:
+        """Guest touched a swap-cache page: EPT-map it without I/O.
+
+        Returns False when the page is not in the swap cache.  With no
+        hardware dirty bit, promotion makes the page dirty-assumed, so
+        its retained slot is released.
+        """
+        slot = vm.swap_cache.pop(gpa, None)
+        if slot is None:
+            return False
+        del vm.swap_slots[gpa]
+        if self.cfg.hardware_dirty_bit:
+            # Ablation: the slot copy stays valid until a real store.
+            vm.swap_clean[gpa] = slot
+        else:
+            self.slot_owner.pop(slot, None)
+            self.swap_area.free(slot)
+        # The page keeps its LRU position from swap-in arrival; the
+        # accessed bit gives it its second chance.  Re-adding it here
+        # would reset the list to access order and erase the ordering
+        # inheritance that drives sequentiality decay.
+        vm.ept.map_page(gpa, accessed=True, dirty=False)
+        vm.costs.cpu(self.cfg.minor_fault_cost)
+        vm.counters.bump("swap_cache_promotions")
+        return True
+
+    def _pick_global_victim(self) -> Vm:
+        """Under machine-wide pressure, reclaim from the biggest VM."""
+        candidates = [
+            v for v in self.vms if v.scanner.resident > 0 or v.swap_cache]
+        if not candidates:
+            raise HostError("global memory pressure with nothing reclaimable")
+        return max(candidates, key=lambda v: v.resident_pages)
+
+    def _evict_batch(self, vm: Vm, want: int, context: str) -> None:
+        result = vm.scanner.pick_victims(want)
+        vm.counters.pages_scanned += result.examined
+        if not result.victims:
+            raise HostError(f"VM {vm.name}: no reclaimable pages")
+        mapper = vm.mapper
+        swap_outs: list[int] = []
+        for key, _was_named in result.victims:
+            if isinstance(key, tuple):
+                # Hypervisor code page: clean, file-backed -> dropped.
+                vm.qemu.evict(key[1])
+                self.frames.release(1)
+                vm.counters.host_evictions += 1
+                continue
+            gpa = key
+            if gpa in vm.swap_cache:
+                # Clean swap-cache page: drop the frame, the slot copy
+                # is still valid -- no write, no unmapping to do.
+                del vm.swap_cache[gpa]
+                self.frames.release(1)
+                vm.counters.host_evictions += 1
+                vm.counters.bump("swap_cache_drops")
+                continue
+            entry = vm.ept.unmap_page(gpa)
+            self.frames.release(1)
+            vm.counters.host_evictions += 1
+            if mapper is not None and mapper.is_tracked_resident(gpa):
+                # VSwapper: the page equals its image block -- discard.
+                mapper.mark_discarded(gpa)
+                vm.counters.mapper_discards += 1
+                continue
+            if (self.cfg.hardware_dirty_bit and not entry.dirty
+                    and gpa in vm.swap_clean):
+                # Ablation: the retained swap copy is still valid.
+                slot = vm.swap_clean.pop(gpa)
+                vm.swap_slots[gpa] = slot
+                continue
+            self._invalidate_swap_clean(vm, gpa)
+            swap_outs.append(gpa)
+        if swap_outs:
+            self._swap_out(vm, swap_outs)
+        vm.refresh_gauges()
+
+    def _swap_out(self, vm: Vm, gpas: list[int]) -> None:
+        """Queue victims for swap write-back -- all of them, dirty or
+        not, because the hardware gives the host no dirty bit for guest
+        pages (silent swap writes).  Pages sit in the swap cache until
+        the write-back batch flushes."""
+        slots = self.swap_area.allocate_run(len(gpas))
+        for gpa, slot in zip(gpas, slots):
+            vm.swap_slots[gpa] = slot
+            self.slot_owner[slot] = (vm, gpa)
+            vm.pending_swap[gpa] = slot
+            content = vm.content_of(gpa)
+            block = getattr(content, "block", None)
+            if block is not None and vm.image.matches(block, content):
+                vm.counters.silent_swap_writes += 1
+        if len(vm.pending_swap) >= self.cfg.swap_writeback_batch_pages:
+            self._flush_swap_writes(vm)
+
+    def _flush_swap_writes(self, vm: Vm) -> None:
+        """Issue the buffered swap-out writes as large requests."""
+        if not vm.pending_swap:
+            return
+        slots = sorted(vm.pending_swap.values())
+        vm.pending_swap.clear()
+        run_start = slots[0]
+        prev = slots[0]
+        run_len = 1
+        for s in slots[1:]:
+            if s == prev + 1:
+                run_len += 1
+            else:
+                self._issue_swap_write(vm, run_start, run_len)
+                run_start = s
+                run_len = 1
+            prev = s
+        self._issue_swap_write(vm, run_start, run_len)
+
+    def _issue_swap_write(self, vm: Vm, first_slot: int, npages: int) -> None:
+        throttle = self.disk.write_async(
+            self.swap_area.sector_of(first_slot),
+            npages * SECTORS_PER_PAGE, region="host-swap")
+        if throttle:
+            vm.costs.io(throttle)
+        vm.counters.disk_ops += 1
+        vm.counters.swap_sectors_written += npages * SECTORS_PER_PAGE
+
+    def _cancel_pending_swap(self, vm: Vm, gpa: int) -> None:
+        """A buffered swap-out proved unnecessary: drop it entirely."""
+        slot = vm.pending_swap.pop(gpa)
+        del vm.swap_slots[gpa]
+        self.slot_owner.pop(slot, None)
+        self.swap_area.free(slot)
+
+    # ==================================================================
+    # hypervisor code pages (false page anonymity)
+    # ==================================================================
+
+    def _touch_code(self, vm: Vm, n: int) -> None:
+        if n <= 0 or vm.qemu.code_pages == 0:
+            return
+        for index in vm.qemu.next_touches(n):
+            vm.qemu.accessed.add(index)
+            if vm.qemu.is_resident(index):
+                continue
+            # Executable page was reclaimed: fault while host runs.
+            vm.counters.host_context_faults += 1
+            vm.counters.hypervisor_code_faults += 1
+            cached = (self.rng is not None
+                      and self.rng.chance(self.cfg.code_cache_hit_rate))
+            if cached:
+                # The binary is shared (other QEMUs, host daemons): the
+                # page is usually still in the host page cache, so the
+                # refault is minor -- no disk read, just the fault cost.
+                cluster = [index]
+                self._make_room(vm, 1, "host")
+                vm.costs.cpu(self.cfg.minor_fault_cost)
+            else:
+                cluster = vm.qemu.fault_cluster(
+                    index, self.cfg.code_readahead_pages)
+                self._make_room(vm, len(cluster), "host")
+                stall = self.disk.read(
+                    vm.qemu.sector_of(cluster[0]),
+                    len(cluster) * SECTORS_PER_PAGE, region="host-root")
+                vm.costs.io(stall)
+                vm.counters.disk_ops += 1
+            for j in cluster:
+                vm.qemu.mark_resident(j)
+                self.frames.allocate(1)
+                vm.scanner.note_resident(code_key(j), named=True)
+
+    # ==================================================================
+    # preventer support
+    # ==================================================================
+
+    def _poll_preventer(self, vm: Vm) -> None:
+        """Expire emulation buffers whose 1 ms window lapsed."""
+        preventer = vm.preventer
+        if preventer is None:
+            return
+        for gpa in preventer.expired(self.clock.now):
+            vm.counters.preventer_merges += 1
+            self._merge_buffered_page(vm, gpa, sync=False, context="host")
+
+    def _merge_buffered_page(self, vm: Vm, gpa: int, *, sync: bool,
+                             context: str) -> None:
+        """Read the old content of a buffered page and merge the buffer.
+
+        ``sync=False`` is the window-expiry path: the guest is not
+        waiting for the missing bytes, so the read occupies the disk
+        without stalling anyone.  ``sync=True`` is the suspend path:
+        the guest (or QEMU) touched bytes the buffer does not hold.
+        The merged page no longer equals any disk block, so a Mapper
+        association is dropped rather than refaulted.
+        """
+        slot = vm.swap_slots.pop(gpa, None)
+        mapper = vm.mapper
+        if slot is not None and gpa in vm.pending_swap:
+            # Never reached disk: merge straight from the swap cache.
+            vm.pending_swap.pop(gpa)
+            self.slot_owner.pop(slot, None)
+            self.swap_area.free(slot)
+            vm.counters.bump("swap_cache_hits")
+        elif slot is not None:
+            self.slot_owner.pop(slot, None)
+            sector = self.swap_area.sector_of(slot)
+            if sync:
+                stall = self.disk.read(
+                    sector, SECTORS_PER_PAGE, region="host-swap")
+                self._charge_stall(vm, stall, context)
+            else:
+                self.disk.read_async(
+                    sector, SECTORS_PER_PAGE, region="host-swap")
+            self.swap_area.free(slot)
+            vm.counters.disk_ops += 1
+            vm.counters.swap_sectors_read += SECTORS_PER_PAGE
+        elif mapper is not None and mapper.is_discarded(gpa):
+            block = mapper.block_of(gpa)
+            sector = vm.image.sector_of(block)
+            if sync:
+                stall = self.disk.read(
+                    sector, SECTORS_PER_PAGE, region=vm.image.region.name)
+                self._charge_stall(vm, stall, context)
+            else:
+                self.disk.read_async(
+                    sector, SECTORS_PER_PAGE, region=vm.image.region.name)
+            mapper.drop_gpa(gpa)  # merged page no longer equals the block
+            vm.counters.disk_ops += 1
+        # Map the merged page as a dirty anonymous page.
+        self._make_room(vm, 1, context)
+        vm.ept.map_page(gpa, accessed=True, dirty=True)
+        self.frames.allocate(1)
+        vm.scanner.note_resident(gpa, named=False)
+
+    def _drop_old_backing(self, vm: Vm, gpa: int) -> None:
+        """Forget swapped/discarded content that is about to be replaced."""
+        if gpa in vm.swap_cache:
+            del vm.swap_cache[gpa]
+            self.frames.release(1)
+            vm.scanner.note_evicted(gpa)
+        slot = vm.swap_slots.pop(gpa, None)
+        if slot is not None:
+            vm.pending_swap.pop(gpa, None)
+            self.swap_area.free(slot)
+            self.slot_owner.pop(slot, None)
+        self._invalidate_swap_clean(vm, gpa)
+        mapper = vm.mapper
+        if mapper is not None and mapper.is_discarded(gpa):
+            mapper.drop_gpa(gpa)
+
+    # ==================================================================
+    # stores and consistency
+    # ==================================================================
+
+    def _guest_store(self, vm: Vm, gpa: int,
+                     new_content: PageContent | None) -> None:
+        """Bookkeeping for a CPU store to a present page."""
+        entry = vm.ept.entry(gpa)
+        entry.dirty = True
+        self._invalidate_swap_clean(vm, gpa)
+        mapper = vm.mapper
+        if mapper is not None and mapper.is_tracked_resident(gpa):
+            # Private-mmap COW: the store severs the disk association.
+            mapper.break_cow(gpa)
+            vm.counters.mapper_cow_breaks += 1
+            vm.costs.cpu(self.cfg.cow_exit_cost)
+            vm.scanner.change_kind(gpa, named=False)
+        if new_content is not None:
+            vm.set_content(gpa, new_content)
+        elif not isinstance(vm.content_of(gpa), AnonContent):
+            vm.set_content(gpa, AnonContent.fresh())
+
+    def _invalidate_block_for_write(self, vm: Vm, block: int,
+                                    writer_gpa: int) -> None:
+        """Section 4.1 "Data Consistency": ordinary I/O is about to
+        overwrite ``block``; any *other* page mapped to it must be
+        detached first -- and fetched from disk if it was discarded,
+        because the guest may later read its old bytes through memory.
+        """
+        mapper = vm.mapper
+        owner = mapper.owner_of_block(block)
+        if owner is None or owner.gpa == writer_gpa:
+            return
+        if owner.state is TrackState.DISCARDED:
+            # Fetch C0 before C1 lands on disk.
+            self._refault_from_image(vm, owner.gpa, "host", readahead=1)
+            vm.counters.mapper_invalidations += 1
+        if mapper.is_tracked_resident(owner.gpa):
+            gpa = owner.gpa
+            mapper.drop_gpa(gpa)
+            if vm.ept.is_present(gpa):
+                vm.scanner.change_kind(gpa, named=False)
+
+    def _invalidate_swap_clean(self, vm: Vm, gpa: int) -> None:
+        """Drop a retained clean swap copy (hardware-dirty-bit ablation)."""
+        slot = vm.swap_clean.pop(gpa, None)
+        if slot is not None:
+            self.slot_owner.pop(slot, None)
+            self.swap_area.free(slot)
+
+    # ==================================================================
+    # helpers
+    # ==================================================================
+
+    @staticmethod
+    def _is_discarded(vm: Vm, gpa: int) -> bool:
+        mapper = vm.mapper
+        return mapper is not None and mapper.is_discarded(gpa)
+
+    def _charge_stall(self, vm: Vm, stall: float, context: str) -> None:
+        if context == "guest":
+            vm.costs.fault(stall)
+        else:
+            vm.costs.io(stall)
+
+    @staticmethod
+    def _block_runs(transfers: list[Transfer]) -> list[tuple[int, int]]:
+        """Collapse transfers into (start_block, npages) contiguous runs."""
+        runs: list[tuple[int, int]] = []
+        start = None
+        count = 0
+        prev = None
+        for t in transfers:
+            if prev is not None and t.block == prev + 1:
+                count += 1
+            else:
+                if start is not None:
+                    runs.append((start, count))
+                start = t.block
+                count = 1
+            prev = t.block
+        if start is not None:
+            runs.append((start, count))
+        return runs

@@ -1,0 +1,145 @@
+"""Per-VM host-side state.
+
+A :class:`Vm` bundles everything the hypervisor knows about one guest:
+the EPT, the logical contents of every guest page, host swap slots, the
+reclaim scanner, the QEMU process model, and (optionally) the VSwapper
+instance.  The guest kernel hangs off ``vm.guest`` but the hypervisor
+never reaches into it -- the host is uncooperative by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import VmConfig
+from repro.core.vswapper import VSwapper
+from repro.disk.image import VirtualDiskImage
+from repro.errors import HostError
+from repro.mem.ept import Ept
+from repro.mem.page import ZERO, PageContent
+from repro.mem.reclaim import ReclaimScanner
+from repro.metrics.counters import Counters
+from repro.host.qemu import QemuProcess
+from repro.sim.costs import CostAccumulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guest.kernel import GuestKernel
+
+
+#: Scanner key prefix marking hypervisor code pages (guest pages are
+#: plain ints).
+CODE_KEY = "code"
+
+
+def code_key(index: int) -> tuple[str, int]:
+    """Scanner key for QEMU code page ``index``."""
+    return (CODE_KEY, index)
+
+
+class Vm:
+    """Host-side state of one virtual machine."""
+
+    def __init__(self, config: VmConfig, vm_id: int,
+                 image: VirtualDiskImage, qemu: QemuProcess,
+                 named_fraction: float, *, reclaim_noise: float = 0.0,
+                 rng=None) -> None:
+        config.validate()
+        self.cfg = config
+        self.vm_id = vm_id
+        self.name = config.name
+        self.image = image
+        self.qemu = qemu
+
+        self.ept = Ept()
+        #: Logical bytes of every guest page (authoritative regardless
+        #: of where the page currently lives).  Missing => ZERO.
+        self.content: dict[int, PageContent] = {}
+        #: gpa -> host swap slot for host-swapped pages.
+        self.swap_slots: dict[int, int] = {}
+        #: Swap-out writes not yet flushed to disk: the page content is
+        #: still in the host's swap cache, so a prompt refault is free.
+        self.pending_swap: dict[int, int] = {}
+        #: Swap-readahead pages resident in host memory but not yet
+        #: EPT-mapped (gpa -> retained slot).  Clean: dropping them
+        #: costs nothing; a guest touch promotes them (minor fault) and
+        #: only *then* does the no-dirty-bit pessimism kick in.
+        #: Insertion-ordered => FIFO drop order.
+        self.swap_cache: dict[int, int] = {}
+        #: Hardware-dirty-bit ablation: gpa -> retained swap slot whose
+        #: copy is still identical to the in-memory page.
+        self.swap_clean: dict[int, int] = {}
+        self.ballooned: set[int] = set()
+        #: GPAs pinned for in-flight virtual I/O (DMA targets); host
+        #: reclaim must not evict them mid-transfer.
+        self.io_pinned: set[int] = set()
+
+        self.scanner = ReclaimScanner(
+            self._referenced, named_fraction=named_fraction,
+            unevictable=self._dma_pinned,
+            noise=reclaim_noise, noise_rng=rng)
+        self.vswapper = VSwapper(config.vswapper)
+
+        self.counters = Counters()
+        self.costs = CostAccumulator()
+        #: Fault-stall overlap factor, set by the driver from the
+        #: workload's thread count (asynchronous page faults).
+        self.fault_overlap = 1.0
+        #: Attached by the machine right after guest construction.
+        self.guest: "GuestKernel | None" = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mapper(self):
+        """Shortcut to the Swap Mapper (None when disabled)."""
+        return self.vswapper.mapper
+
+    @property
+    def preventer(self):
+        """Shortcut to the False Reads Preventer (None when disabled)."""
+        return self.vswapper.preventer
+
+    @property
+    def resident_pages(self) -> int:
+        """Host frames charged to this VM (guest pages + QEMU text +
+        swap-cache pages brought in by readahead)."""
+        return (self.ept.resident_pages + len(self.qemu.resident)
+                + len(self.swap_cache))
+
+    @property
+    def resident_limit(self) -> int | None:
+        """cgroup-style cap, if configured."""
+        return self.cfg.resident_limit_pages
+
+    def content_of(self, gpa: int) -> PageContent:
+        """Logical content of ``gpa`` (ZERO when never written)."""
+        return self.content.get(gpa, ZERO)
+
+    def set_content(self, gpa: int, content: PageContent) -> None:
+        """Record the new logical content of ``gpa``."""
+        if isinstance(content, type(ZERO)):
+            self.content.pop(gpa, None)
+        else:
+            self.content[gpa] = content
+
+    def _dma_pinned(self, key) -> bool:
+        """Whether a scanner key is pinned for in-flight DMA."""
+        return not isinstance(key, tuple) and key in self.io_pinned
+
+    def _referenced(self, key) -> bool:
+        """Reclaim clock probe: test-and-clear the accessed bit."""
+        if isinstance(key, tuple):
+            if key[0] != CODE_KEY:
+                raise HostError(f"unknown scanner key: {key!r}")
+            return self.qemu.referenced(key[1])
+        if self.ept.is_present(key):
+            return self.ept.test_and_clear_accessed(key)
+        return False
+
+    def refresh_gauges(self) -> None:
+        """Update gauge-style counters from live state."""
+        mapper = self.mapper
+        if mapper is not None:
+            self.counters.mapper_tracked_pages = mapper.tracked_pages
+            self.counters.mapper_tracked_peak = max(
+                self.counters.mapper_tracked_peak, mapper.tracked_pages)

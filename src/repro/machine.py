@@ -1,0 +1,170 @@
+"""Machine assembly: one physical host with disk, memory, and VMs.
+
+A :class:`Machine` wires the engine, the shared disk, the frame pool,
+the hypervisor, and any number of VMs (each with its own guest kernel,
+image region, and QEMU process).  Experiments construct a machine from
+a :class:`repro.config.MachineConfig`, add VMs and workloads, and run
+the engine.
+"""
+
+from __future__ import annotations
+
+from repro.config import DiskConfig, MachineConfig, VmConfig
+from repro.disk.device import DiskDevice
+from repro.disk.geometry import DiskLayout
+from repro.disk.image import VirtualDiskImage
+from repro.disk.latency import HddLatencyModel, LatencyModel, SsdLatencyModel
+from repro.disk.swaparea import HostSwapArea
+from repro.errors import ConfigError
+from repro.guest.kernel import GuestKernel
+from repro.host.hypervisor import Hypervisor
+from repro.host.qemu import QemuProcess
+from repro.host.vm import Vm
+from repro.mem.frames import FramePool
+from repro.mem.page import AnonContent
+from repro.metrics.counters import Counters
+from repro.sim.engine import Engine
+from repro.sim.ops import WritePattern
+from repro.sim.rng import DeterministicRng
+from repro.units import mib_pages
+
+
+def build_latency_model(cfg: DiskConfig) -> LatencyModel:
+    """Instantiate the latency model the disk config asks for."""
+    cfg.validate()
+    if cfg.kind == "ssd":
+        return SsdLatencyModel(
+            bandwidth_bytes_per_sec=cfg.bandwidth_bytes_per_sec,
+            read_latency=cfg.ssd_read_latency,
+            write_latency=cfg.ssd_write_latency,
+        )
+    return HddLatencyModel(
+        bandwidth_bytes_per_sec=cfg.bandwidth_bytes_per_sec,
+        seek_min=cfg.seek_min,
+        seek_max=cfg.seek_max,
+        rpm=cfg.rpm,
+        rotation_fraction=cfg.rotation_fraction,
+        per_request_overhead=cfg.per_request_overhead,
+    )
+
+
+class Machine:
+    """One simulated physical host."""
+
+    #: Host-root region size: holds the QEMU executables of all VMs.
+    HOST_ROOT_PAGES = mib_pages(256)
+
+    def __init__(self, config: MachineConfig) -> None:
+        config.validate()
+        self.cfg = config
+        self.engine = Engine()
+        self.rng = DeterministicRng(config.seed)
+
+        self.layout = DiskLayout()
+        self._host_root = self.layout.add_region_pages(
+            "host-root", self.HOST_ROOT_PAGES)
+        swap_region = self.layout.add_region_pages(
+            "host-swap", config.host.swap_size_pages)
+        self.swap_area = HostSwapArea(swap_region)
+
+        self.disk = DiskDevice(
+            self.engine.clock, build_latency_model(config.disk),
+            max_write_backlog=config.disk.max_write_backlog_seconds)
+        self.frames = FramePool(config.host.total_memory_pages)
+        self.hypervisor = Hypervisor(
+            self.engine.clock, self.disk, self.frames,
+            self.swap_area, config.host, rng=self.rng.fork("hypervisor"))
+
+        self.vms: list[Vm] = []
+        self._next_code_base = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.engine.now
+
+    def create_vm(self, vm_config: VmConfig) -> Vm:
+        """Instantiate a VM: image region, QEMU process, guest kernel."""
+        vm_id = len(self.vms)
+        region = self.layout.add_region_pages(
+            f"image-{vm_config.name}", vm_config.image_size_pages)
+        image = VirtualDiskImage(region)
+
+        code_pages = self.cfg.host.hypervisor_code_pages
+        if (self._next_code_base + code_pages
+                > self._host_root.size_pages):
+            raise ConfigError("host-root region exhausted; too many VMs")
+        qemu = QemuProcess(self._host_root, self._next_code_base, code_pages)
+        self._next_code_base += code_pages
+
+        vm = Vm(vm_config, vm_id, image, qemu,
+                named_fraction=self.cfg.host.named_fraction,
+                reclaim_noise=self.cfg.host.reclaim_noise,
+                rng=self.rng.fork(f"reclaim-{vm_config.name}"))
+        vm.guest = GuestKernel(
+            vm_config.guest, vm, self.hypervisor,
+            image.size_blocks, self.rng.fork(f"guest-{vm_config.name}"))
+        self.hypervisor.register_vm(vm)
+        self.vms.append(vm)
+
+        if vm_config.static_balloon_pages:
+            self.apply_static_balloon(vm, vm_config.static_balloon_pages)
+        return vm
+
+    def boot_guest(self, vm: Vm, *, fraction: float = 1.0) -> None:
+        """Model the guest's uptime history before the experiment.
+
+        A real guest has touched essentially all of its believed memory
+        by the time a benchmark runs (boot, daemons, earlier jobs), so
+        under uncooperative swapping the host swap area holds a large
+        population of dead-but-swapped pages.  Those stragglers are the
+        persistent state that fragments swap-slot runs over time --
+        without them, decayed swap sequentiality cannot accumulate.
+
+        The phase is untimed: costs, counters, and disk state reset.
+        """
+        guest = vm.guest
+        keep_free = guest.cfg.derived_free_target
+        touch_pages = int(max(0, len(guest.free_list) - keep_free) * fraction)
+        if touch_pages > 0:
+            region = guest.anon.commit("boot-history", touch_pages)
+            for index in range(touch_pages):
+                gpa = guest._alloc_gpa()
+                self.hypervisor.overwrite_page(
+                    vm, gpa, AnonContent.fresh(),
+                    WritePattern.FULL_SEQUENTIAL)
+                guest.anon.place_in_memory("boot-history", index, gpa)
+                guest.scanner.note_resident(gpa, named=False)
+            released, slots = guest.anon.release_region("boot-history")
+            for gpa in released:
+                guest.scanner.note_evicted(gpa)
+                guest.free_list.append(gpa)
+            for slot in slots:
+                guest.gswap.free(slot)
+        vm.costs.reset()
+        vm.counters = Counters()
+        self.disk.quiesce()
+
+    def apply_static_balloon(self, vm: Vm, pages: int) -> None:
+        """Pre-inflate the balloon before the workload starts.
+
+        Controlled experiments (Section 5.1) configure the balloon once
+        and leave it; inflation on a freshly booted guest is pure
+        free-list allocation, so no cost accrues.
+        """
+        guest = vm.guest
+        guest.set_balloon_target(pages)
+        guest.apply_balloon(pages)
+        vm.costs.reset()
+
+    def run(self, until: float | None = None) -> float:
+        """Run the engine until all work completes (or ``until``)."""
+        return self.engine.run(until)
+
+    def aggregate_counters(self) -> dict[str, int]:
+        """Machine-wide sum of every VM's counters."""
+        totals: dict[str, int] = {}
+        for vm in self.vms:
+            for name, value in vm.counters.snapshot().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals

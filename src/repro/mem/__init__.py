@@ -1,0 +1,21 @@
+"""Memory substrate: frames, EPT, LRU lists, reclaim scanning."""
+
+from repro.mem.page import AnonContent, PageContent, ZERO, ZeroContent, content_repr
+from repro.mem.frames import FramePool
+from repro.mem.lru import ClockList
+from repro.mem.ept import Ept, EptEntry
+from repro.mem.reclaim import ReclaimScanner, ScanResult
+
+__all__ = [
+    "AnonContent",
+    "PageContent",
+    "ZERO",
+    "ZeroContent",
+    "content_repr",
+    "FramePool",
+    "ClockList",
+    "Ept",
+    "EptEntry",
+    "ReclaimScanner",
+    "ScanResult",
+]

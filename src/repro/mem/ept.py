@@ -1,0 +1,88 @@
+"""Extended page table: the host-controlled GPA => HPA level.
+
+Only presence and the accessed bit matter to the paper's effects (see
+Figure 1 in the paper): a non-present entry turns a guest memory access
+into an EPT violation the host must service, and accessed bits feed the
+host reclaim clock.  Frames are fungible, so entries do not record a
+physical frame number -- the :class:`repro.mem.frames.FramePool` keeps
+conservation honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryError_
+
+
+@dataclass
+class EptEntry:
+    """State of one present GPA mapping."""
+
+    accessed: bool = True
+    #: Host-side dirty approximation.  The paper stresses that 2013-era
+    #: hardware had *no* EPT dirty bit, so baseline swap-out must assume
+    #: dirty; the entry still tracks truth so the silent-write metric
+    #: and the hardware-dirty-bit ablation can read it.
+    dirty: bool = False
+
+
+class Ept:
+    """GPA => HPA mapping for one VM (present entries only)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, EptEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, gpa: int) -> bool:
+        return gpa in self._entries
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of present mappings (the VM's resident set)."""
+        return len(self._entries)
+
+    def map_page(self, gpa: int, *, accessed: bool = True,
+                 dirty: bool = False) -> None:
+        """Install a mapping for ``gpa``; it must not already be present."""
+        if gpa in self._entries:
+            raise MemoryError_(f"GPA {gpa:#x} already mapped")
+        self._entries[gpa] = EptEntry(accessed=accessed, dirty=dirty)
+
+    def unmap_page(self, gpa: int) -> EptEntry:
+        """Remove the mapping for ``gpa``, returning its final state."""
+        try:
+            return self._entries.pop(gpa)
+        except KeyError:
+            raise MemoryError_(f"GPA {gpa:#x} not mapped") from None
+
+    def entry(self, gpa: int) -> EptEntry:
+        """The entry for a present ``gpa``."""
+        try:
+            return self._entries[gpa]
+        except KeyError:
+            raise MemoryError_(f"GPA {gpa:#x} not mapped") from None
+
+    def is_present(self, gpa: int) -> bool:
+        """Whether a guest access to ``gpa`` would hit without a fault."""
+        return gpa in self._entries
+
+    def mark_accessed(self, gpa: int, *, write: bool = False) -> None:
+        """Set the accessed (and optionally dirty) bit of a present entry."""
+        entry = self.entry(gpa)
+        entry.accessed = True
+        if write:
+            entry.dirty = True
+
+    def test_and_clear_accessed(self, gpa: int) -> bool:
+        """Read and clear the accessed bit (the reclaim clock's probe)."""
+        entry = self.entry(gpa)
+        was = entry.accessed
+        entry.accessed = False
+        return was
+
+    def present_gpas(self) -> list[int]:
+        """Snapshot of all present GPAs (test/debug helper)."""
+        return list(self._entries)

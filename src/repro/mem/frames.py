@@ -1,0 +1,56 @@
+"""Host physical frame accounting.
+
+Frames are fungible in this simulation -- no per-frame identity is
+needed, only conservation: the pool refuses to go negative, and the
+hypervisor must reclaim before mapping when the pool is dry.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_
+
+
+class FramePool:
+    """Counting allocator for host physical page frames."""
+
+    def __init__(self, total_frames: int) -> None:
+        if total_frames <= 0:
+            raise MemoryError_(f"pool needs at least one frame: {total_frames}")
+        self.total_frames = total_frames
+        self._used = 0
+
+    @property
+    def used(self) -> int:
+        """Frames currently handed out."""
+        return self._used
+
+    @property
+    def free(self) -> int:
+        """Frames available for allocation."""
+        return self.total_frames - self._used
+
+    def allocate(self, n: int = 1) -> None:
+        """Take ``n`` frames; raises if the pool would go negative.
+
+        Callers (the hypervisor) must free up frames via reclaim first;
+        failing to do so is a simulation bug, not a recoverable state.
+        """
+        if n < 0:
+            raise MemoryError_(f"negative allocation: {n}")
+        if self._used + n > self.total_frames:
+            raise MemoryError_(
+                f"frame pool exhausted: want {n}, free {self.free}")
+        self._used += n
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` frames to the pool."""
+        if n < 0:
+            raise MemoryError_(f"negative release: {n}")
+        if n > self._used:
+            raise MemoryError_(
+                f"releasing {n} frames but only {self._used} in use")
+        self._used -= n
+
+    def can_allocate(self, n: int) -> bool:
+        """Whether ``n`` frames are currently available."""
+        return self.free >= n

@@ -1,0 +1,96 @@
+"""Clock-style LRU approximation.
+
+Both the host and the guest kernels reclaim with a clock hand over an
+ordered list of resident pages, giving referenced pages a second chance
+-- the same approximation Linux's active/inactive lists implement.  The
+number of entries the hand *examines* is the paper's "pages scanned"
+metric (Figure 11c).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterator, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class ClockList:
+    """Ordered set of keys with clock-hand scanning.
+
+    Keys enter at the tail (most recently added).  The scan examines
+    keys from the head; a key whose ``referenced`` callback returns True
+    is rotated to the tail (second chance), otherwise it is evicted.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._entries: OrderedDict[Hashable, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def add(self, key: Hashable) -> None:
+        """Insert ``key`` at the tail; re-adding refreshes its position."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        else:
+            self._entries[key] = None
+
+    def add_front(self, key: Hashable) -> None:
+        """Insert ``key`` at the head -- first in line for eviction.
+
+        Models inactive-list insertion of speculative pages (swap
+        readahead) that have earned no recency credit yet.
+        """
+        self._entries[key] = None
+        self._entries.move_to_end(key, last=False)
+
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key``; missing keys are ignored (already evicted)."""
+        self._entries.pop(key, None)
+
+    def peek_head(self) -> Optional[Hashable]:
+        """Key the clock hand would examine next, or None when empty."""
+        for key in self._entries:
+            return key
+        return None
+
+    def scan(
+        self,
+        want: int,
+        referenced: Callable[[Hashable], bool],
+        *,
+        max_examined: Optional[int] = None,
+    ) -> tuple[list[Hashable], int]:
+        """Find up to ``want`` eviction victims.
+
+        Returns ``(victims, examined)`` where ``examined`` counts every
+        key the hand looked at (the pages-scanned metric).  Referenced
+        keys get their bit cleared (the callback is expected to clear
+        it) and rotate to the tail.  The scan gives up after
+        ``max_examined`` examinations (default: twice the list length,
+        mirroring reclaim priority escalation) and returns what it has.
+        """
+        victims: list[Hashable] = []
+        examined = 0
+        if max_examined is None:
+            max_examined = 2 * len(self._entries)
+        while len(victims) < want and self._entries and examined < max_examined:
+            key, _ = self._entries.popitem(last=False)
+            examined += 1
+            if referenced(key):
+                self._entries[key] = None  # second chance: rotate to tail
+            else:
+                victims.append(key)
+        return victims, examined
+
+    def keys_in_order(self) -> list[Hashable]:
+        """Snapshot of keys from head (coldest) to tail (hottest)."""
+        return list(self._entries)

@@ -1,0 +1,68 @@
+"""Logical page-content identities.
+
+The simulator never stores page bytes; it stores *what the bytes are*:
+
+* :data:`ZERO` -- the page is all zeroes (never written, or freshly
+  zeroed by the guest).
+* :class:`repro.disk.image.BlockVersion` -- the page equals disk block
+  ``b`` at content version ``v``.  This identity powers the
+  silent-swap-write metric and every Swap Mapper consistency check.
+* :class:`AnonContent` -- opaque program data; each distinct write
+  burst mints a fresh token so accidental aliasing is impossible.
+
+Content identity is orthogonal to *residency*: a page keeps its content
+whether it lives in a host frame, the host swap area, or (for tracked
+pages) only in the disk image.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.disk.image import BlockVersion
+
+
+class ZeroContent:
+    """Singleton identity of an all-zero page."""
+
+    _instance: "ZeroContent | None" = None
+
+    def __new__(cls) -> "ZeroContent":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ZERO"
+
+
+#: The all-zeroes content identity.
+ZERO = ZeroContent()
+
+_anon_tokens = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AnonContent:
+    """Opaque anonymous data (heap/stack bytes) with a unique token."""
+
+    token: int
+
+    @staticmethod
+    def fresh() -> "AnonContent":
+        """Mint a new, globally unique anonymous content identity."""
+        return AnonContent(next(_anon_tokens))
+
+
+#: Everything a page may logically contain.
+PageContent = ZeroContent | AnonContent | BlockVersion
+
+
+def content_repr(content: PageContent | None) -> str:
+    """Compact human-readable form of a content identity."""
+    if content is None or isinstance(content, ZeroContent):
+        return "ZERO"
+    if isinstance(content, AnonContent):
+        return f"anon#{content.token}"
+    return f"blk{content.block}v{content.version}"

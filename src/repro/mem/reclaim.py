@@ -1,0 +1,149 @@
+"""Generic named/anon reclaim scanning, shared by host and guest models.
+
+Linux reclaim keeps file-backed ("named") and anonymous pages on
+separate LRU lists and prefers to take file pages: they can be dropped
+without write-back and re-read with effective prefetching.  The paper's
+*false page anonymity* problem is precisely that in the baseline the
+named list contains nothing but the hypervisor executable, so this
+preference repeatedly victimizes QEMU's own code (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.errors import MemoryError_
+from repro.mem.lru import ClockList
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one victim-selection pass."""
+
+    #: Chosen victims, as (key, was_named) pairs in eviction order.
+    victims: list[tuple[Hashable, bool]] = field(default_factory=list)
+    #: Entries the clock hand examined (the pages-scanned metric).
+    examined: int = 0
+
+
+class ReclaimScanner:
+    """Two-list clock reclaim with a tunable named-page preference.
+
+    ``referenced`` is probed (and cleared) per examined key -- wire it
+    to :meth:`repro.mem.ept.Ept.test_and_clear_accessed` on the host or
+    the guest's own accessed bookkeeping.
+    """
+
+    def __init__(
+        self,
+        referenced: Callable[[Hashable], bool],
+        *,
+        named_fraction: float = 0.75,
+        unevictable: Callable[[Hashable], bool] | None = None,
+        noise: float = 0.0,
+        noise_rng=None,
+    ) -> None:
+        if not 0.0 <= named_fraction <= 1.0:
+            raise MemoryError_(
+                f"named_fraction must be in [0, 1]: {named_fraction}")
+        if not 0.0 <= noise <= 1.0:
+            raise MemoryError_(f"noise must be in [0, 1]: {noise}")
+        if noise > 0.0 and noise_rng is None:
+            raise MemoryError_("noise requires a noise_rng")
+        self.named_list = ClockList("named")
+        self.anon_list = ClockList("anon")
+        self.named_fraction = named_fraction
+        self._unevictable = unevictable or (lambda key: False)
+        self._referenced_raw = referenced
+        self._noise = noise
+        self._noise_rng = noise_rng
+
+    def _referenced(self, key: Hashable) -> bool:
+        """Referenced probe with DMA protection and sampling noise.
+
+        Pages pinned for in-flight DMA are treated as permanently
+        referenced.  The noise term randomly grants extra rotations,
+        modelling the disorder of real referenced-bit sampling -- the
+        seed of decayed swap sequentiality (see HostConfig.reclaim_noise).
+        """
+        if self._unevictable(key):
+            return True
+        if self._noise and self._noise_rng.chance(self._noise):
+            return True
+        return self._referenced_raw(key)
+
+    # -- membership maintenance --------------------------------------------
+
+    def note_resident(self, key: Hashable, *, named: bool,
+                      cold: bool = False) -> None:
+        """Register a newly resident page on the appropriate list.
+
+        ``cold=True`` queues the page at the eviction end (speculative
+        readahead pages that have not yet been used).
+        """
+        target = self.named_list if named else self.anon_list
+        if cold:
+            target.add_front(key)
+        else:
+            target.add(key)
+
+    def note_evicted(self, key: Hashable) -> None:
+        """Drop a page from whichever list holds it."""
+        self.named_list.remove(key)
+        self.anon_list.remove(key)
+
+    def change_kind(self, key: Hashable, *, named: bool) -> None:
+        """Move a resident page between lists (e.g. a Mapper COW break
+        turns a named page anonymous)."""
+        self.note_evicted(key)
+        self.note_resident(key, named=named)
+
+    def is_named(self, key: Hashable) -> bool:
+        """Whether the resident page currently sits on the named list."""
+        return key in self.named_list
+
+    @property
+    def resident(self) -> int:
+        """Pages on either list."""
+        return len(self.named_list) + len(self.anon_list)
+
+    # -- victim selection ----------------------------------------------------
+
+    def pick_victims(self, want: int) -> ScanResult:
+        """Select up to ``want`` victims, preferring named pages.
+
+        The named list is scanned for ``named_fraction`` of the batch
+        (all of it if the anon list is empty) and the anon list covers
+        the remainder; any shortfall falls back to the other list.
+        """
+        if want <= 0:
+            return ScanResult()
+        result = ScanResult()
+
+        from_named = want if not len(self.anon_list) else max(
+            1, int(round(want * self.named_fraction)))
+        from_named = min(from_named, want)
+
+        named_victims, examined = self.named_list.scan(
+            min(from_named, len(self.named_list)), self._referenced)
+        result.examined += examined
+        result.victims.extend((key, True) for key in named_victims)
+
+        remaining = want - len(result.victims)
+        if remaining > 0 and len(self.anon_list):
+            anon_victims, examined = self.anon_list.scan(
+                remaining, self._referenced)
+            result.examined += examined
+            result.victims.extend((key, False) for key in anon_victims)
+
+        # Shortfall: escalate back to the named list without the
+        # second-chance courtesy (reclaim priority escalation).  Only
+        # unevictable (DMA-pinned) pages keep their protection.
+        remaining = want - len(result.victims)
+        if remaining > 0 and len(self.named_list):
+            forced, examined = self.named_list.scan(
+                remaining, self._unevictable)
+            result.examined += examined
+            result.victims.extend((key, True) for key in forced)
+        return result

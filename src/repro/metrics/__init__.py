@@ -1,0 +1,7 @@
+"""Measurement infrastructure: counters, timelines, and report tables."""
+
+from repro.metrics.counters import Counters
+from repro.metrics.timeline import Timeline
+from repro.metrics.report import Table, format_table
+
+__all__ = ["Counters", "Timeline", "Table", "format_table"]

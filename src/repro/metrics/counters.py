@@ -1,0 +1,132 @@
+"""Event counters mirroring the quantities the paper's figures report.
+
+One :class:`Counters` instance is attached to each VM; a second,
+host-global instance aggregates machine-wide activity.  Counter names
+follow the figure vocabulary (see DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Named integer counters with snapshot/delta support.
+
+    Figures 9--12 report *per-iteration* quantities, so experiments take
+    a :meth:`snapshot` before each iteration and compute a
+    :meth:`delta_since` after it.
+    """
+
+    # --- fault accounting -------------------------------------------------
+    #: EPT violations taken while the *guest* was executing (Fig. 9c);
+    #: growth over iterations is the signature of decayed sequentiality.
+    guest_context_faults: int = 0
+    #: Page faults taken while *host* code was executing on behalf of the
+    #: guest (Fig. 9b): stale swap reads plus false-page-anonymity
+    #: faults on evicted hypervisor code pages.
+    host_context_faults: int = 0
+    #: Subset of host-context faults caused by explicit guest I/O whose
+    #: destination frame had been swapped out (stale swap reads).
+    stale_reads: int = 0
+    #: Host reads of swapped-out content that the guest immediately
+    #: overwrote in full (false swap reads, Fig. 10).
+    false_reads: int = 0
+    #: Host-context faults on evicted hypervisor executable pages
+    #: (false page anonymity).
+    hypervisor_code_faults: int = 0
+    #: Guest-internal page faults serviced by the guest's own swap.
+    guest_swap_faults: int = 0
+
+    # --- disk accounting --------------------------------------------------
+    #: Total requests issued to the physical disk (Fig. 10, 11a).
+    disk_ops: int = 0
+    #: Sectors written to the host swap area (Fig. 9d, 11b).
+    swap_sectors_written: int = 0
+    #: Sectors read from the host swap area.
+    swap_sectors_read: int = 0
+    #: Swap writes whose page content equalled its backing image block
+    #: (the paper's *silent swap writes*).
+    silent_swap_writes: int = 0
+    #: Sectors moved for the guest's own virtual-disk I/O.
+    virtual_io_sectors: int = 0
+    #: Sectors written by the guest's own swap device.
+    guest_swap_sectors_written: int = 0
+
+    # --- reclaim accounting -------------------------------------------------
+    #: Pages examined by the host reclaim clock hand (Fig. 11c).
+    pages_scanned: int = 0
+    #: Guest pages evicted by host reclaim (swap-out or discard).
+    host_evictions: int = 0
+    #: Evictions satisfied by discarding a Mapper-tracked page.
+    mapper_discards: int = 0
+    #: Pages the guest's own reclaim evicted.
+    guest_evictions: int = 0
+    #: Double-paging events: guest swap-out of a page the host had
+    #: already swapped out (Section 2.1).
+    double_paging: int = 0
+
+    # --- VSwapper component accounting -------------------------------------
+    #: Whole-page write buffers the Preventer promoted to frames
+    #: (Fig. 12b "preventer remaps").
+    preventer_remaps: int = 0
+    #: Preventer emulations that timed out / overflowed and fell back to
+    #: reading the old content and merging.
+    preventer_merges: int = 0
+    #: Writes emulated by the Preventer.
+    preventer_emulated_writes: int = 0
+    #: Mapper associations invalidated for consistency when their disk
+    #: blocks were overwritten through ordinary I/O (Section 4.1).
+    mapper_invalidations: int = 0
+    #: COW breaks: guest stores to tracked pages that severed the
+    #: page<->block association.
+    mapper_cow_breaks: int = 0
+    #: Pages currently tracked by the Mapper (gauge, Fig. 15).
+    mapper_tracked_pages: int = 0
+    #: Peak pages simultaneously tracked by the Mapper (Section 5.3).
+    mapper_tracked_peak: int = 0
+
+    # --- balloon accounting -------------------------------------------------
+    #: Pages moved into the balloon (inflations).
+    balloon_inflated_pages: int = 0
+    #: Pages released from the balloon (deflations).
+    balloon_deflated_pages: int = 0
+    #: Workload processes killed by the guest OOM killer.
+    oom_kills: int = 0
+
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all counter values, for later delta computation."""
+        values = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "extra"
+        }
+        values.update(self.extra)
+        return values
+
+    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Per-counter change since ``snapshot`` (missing keys count as 0)."""
+        current = self.snapshot()
+        return {
+            name: current.get(name, 0) - snapshot.get(name, 0)
+            for name in current
+        }
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a counter by name (ad-hoc counters land in ``extra``)."""
+        if hasattr(self, name) and name != "extra":
+            setattr(self, name, getattr(self, name) + amount)
+        else:
+            self.extra[name] = self.extra.get(name, 0) + amount
+
+    def merged_with(self, other: "Counters") -> dict[str, int]:
+        """Sum of this and another counter set (for machine-wide totals)."""
+        mine = self.snapshot()
+        theirs = other.snapshot()
+        return {
+            name: mine.get(name, 0) + theirs.get(name, 0)
+            for name in set(mine) | set(theirs)
+        }

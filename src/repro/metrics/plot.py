@@ -1,0 +1,97 @@
+"""Terminal line/bar charts for regenerated figures.
+
+The experiment harnesses produce numeric series; these helpers render
+them as ASCII so `vswapper-repro run fig9` can show the paper's curve
+*shapes* directly in a terminal, alongside the numeric tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(width - 1, max(0, int(round(position * (width - 1)))))
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    height: int = 12,
+    width: int = 64,
+    y_label: str = "",
+) -> str:
+    """Render one or more equally-indexed series as an ASCII chart.
+
+    Each series is a sequence of y-values over an implicit x of
+    0..n-1; series may have different lengths (shorter ones just end
+    earlier).  Returns a multi-line string.
+    """
+    populated = {name: list(vals) for name, vals in series.items() if vals}
+    if not populated:
+        return f"{title}\n(no data)"
+    all_values = [v for vals in populated.values() for v in vals]
+    lo = min(0.0, min(all_values))
+    hi = max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    max_len = max(len(vals) for vals in populated.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(populated.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for i, value in enumerate(values):
+            x = _scale(i, 0, max(1, max_len - 1), width)
+            y = _scale(value, lo, hi, height)
+            grid[height - 1 - y][x] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:>10.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:>10.2f} +" + "-" * width)
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(populated))
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.append(" " * 12 + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    *,
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart (Figure 3/4 style)."""
+    numeric = {k: v for k, v in values.items() if v is not None}
+    lines = [title] if title else []
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    if not numeric:
+        label_width = max(len(k) for k in values)
+        lines.extend(f"{name:<{label_width}}  (crashed)"
+                     for name in values)
+        return "\n".join(lines)
+    hi = max(numeric.values())
+    label_width = max(len(k) for k in values)
+    for name, value in values.items():
+        if value is None:
+            lines.append(f"{name:<{label_width}}  (crashed)")
+            continue
+        bar = "#" * max(1, _scale(value, 0, hi, width) + 1)
+        lines.append(f"{name:<{label_width}}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

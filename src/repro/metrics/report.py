@@ -1,0 +1,57 @@
+"""Plain-text result tables, printed by the benchmark harnesses.
+
+Each benchmark regenerates one of the paper's tables or figures as rows
+of text; :func:`format_table` renders them with aligned columns so the
+output reads like the paper's own presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """A titled grid of rows with a header."""
+
+    title: str
+    header: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cell count must match the header."""
+        if len(cells) != len(self.header):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """The table as aligned plain text."""
+        return format_table(self.title, self.header, self.rows)
+
+
+def _cell_text(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title: str, header: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` under ``header`` with aligned columns."""
+    text_rows = [[_cell_text(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    body = [title, rule, line(list(header)), rule]
+    body.extend(line(row) for row in text_rows)
+    body.append(rule)
+    return "\n".join(body)

@@ -1,0 +1,54 @@
+"""Time-series sampling for gauges (Figure 15 style plots)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Sample:
+    """One (time, value) observation of a named series."""
+
+    time: float
+    series: str
+    value: float
+
+
+@dataclass
+class Timeline:
+    """Append-only store of gauge samples, grouped by series name.
+
+    Experiments register gauge callables with :meth:`register` and call
+    :meth:`sample_all` periodically (e.g. from an engine periodic task);
+    figure harnesses then pull each series out with :meth:`series`.
+    """
+
+    samples: list[Sample] = field(default_factory=list)
+    _gauges: dict[str, Callable[[], float]] = field(default_factory=dict)
+
+    def register(self, series: str, gauge: Callable[[], float]) -> None:
+        """Attach a gauge callable whose value is read on each sweep."""
+        self._gauges[series] = gauge
+
+    def record(self, time: float, series: str, value: float) -> None:
+        """Record one explicit observation."""
+        self.samples.append(Sample(time, series, value))
+
+    def sample_all(self, time: float) -> None:
+        """Read every registered gauge once at virtual time ``time``."""
+        for series, gauge in self._gauges.items():
+            self.samples.append(Sample(time, series, float(gauge())))
+
+    def series(self, name: str) -> tuple[list[float], list[float]]:
+        """(times, values) of one series, in recording order."""
+        times = [s.time for s in self.samples if s.series == name]
+        values = [s.value for s in self.samples if s.series == name]
+        return times, values
+
+    def series_names(self) -> list[str]:
+        """All distinct series names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for s in self.samples:
+            seen.setdefault(s.series, None)
+        return list(seen)

@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate.
+
+The engine is deliberately small: the interesting behaviour of this
+reproduction lives in the memory/disk/guest/host models, and they only
+need a shared virtual clock, an ordered event queue, and deterministic
+randomness.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+from repro.sim.rng import DeterministicRng
+
+__all__ = ["Clock", "Engine", "DeterministicRng"]

@@ -1,0 +1,45 @@
+"""Virtual clock shared by every component of one simulation."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonically advancing virtual time, in seconds.
+
+    The clock is owned by the :class:`repro.sim.engine.Engine`; other
+    components hold a reference and read :attr:`now`.  Only the engine
+    (or a test) should call :meth:`advance_to`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start before zero: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises :class:`SimulationError` on attempts to move backwards,
+        which would indicate a broken event ordering.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"clock would move backwards: {self._now} -> {t}"
+            )
+        self._now = t
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (``dt >= 0``)."""
+        if dt < 0:
+            raise SimulationError(f"negative time delta: {dt}")
+        self._now += dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"

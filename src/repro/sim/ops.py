@@ -1,0 +1,151 @@
+"""Workload operation vocabulary.
+
+A workload is a generator yielding these operations; the VM driver
+interprets each one against the guest-kernel model.  The vocabulary is
+deliberately behavioural -- it describes *what the program does to
+memory and files*, which is the only aspect of the paper's benchmarks
+(Sysbench, pbzip2, kernbench, Eclipse, Metis) that the evaluation
+depends on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class WritePattern(enum.Enum):
+    """How a memory overwrite proceeds, as seen by the Preventer.
+
+    The False Reads Preventer (Section 4.2) distinguishes sequential
+    whole-page overwrites (zeroing, ``REP MOVS`` copies) -- which it can
+    short-circuit -- from partial or scattered writes, which force it to
+    read the old contents and merge.
+    """
+
+    #: The whole page is overwritten front-to-back (memset/COW/zeroing).
+    FULL_SEQUENTIAL = "full_sequential"
+    #: Only part of the page is written, starting at offset zero.
+    PARTIAL = "partial"
+    #: Bytes are written in a scattered, non-sequential order.
+    SCATTERED = "scattered"
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Pure CPU work for ``seconds`` of virtual time."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class FileRead:
+    """Read ``npages`` pages of ``file_id`` starting at ``offset_pages``.
+
+    Served from the guest page cache when possible; misses become
+    explicit virtual disk I/O (with guest readahead).
+    ``touch_cost`` is the per-page CPU cost of consuming the data.
+    """
+
+    file_id: str
+    offset_pages: int
+    npages: int
+    touch_cost: float = 0.0
+
+
+@dataclass(frozen=True)
+class FileWrite:
+    """Dirty ``npages`` pages of ``file_id`` in the guest page cache."""
+
+    file_id: str
+    offset_pages: int
+    npages: int
+    touch_cost: float = 0.0
+
+
+@dataclass(frozen=True)
+class FileSync:
+    """Flush the file's dirty pages to the virtual disk (fsync)."""
+
+    file_id: str
+
+
+@dataclass(frozen=True)
+class Alloc:
+    """Commit ``npages`` anonymous pages under the name ``region``.
+
+    Committing does not touch the pages; first access (Touch/Overwrite)
+    allocates and zeroes them, which is exactly the whole-page-overwrite
+    event the Preventer targets.
+    """
+
+    region: str
+    npages: int
+
+
+@dataclass(frozen=True)
+class Touch:
+    """Access anon pages ``[start, start + npages)`` of ``region``.
+
+    ``write=True`` dirties the pages (a partial write from the
+    Preventer's point of view -- it does not overwrite whole pages).
+    ``stride`` > 1 touches every ``stride``-th page.
+    """
+
+    region: str
+    start: int
+    npages: int
+    write: bool = False
+    stride: int = 1
+    touch_cost: float = 0.0
+
+
+@dataclass(frozen=True)
+class Overwrite:
+    """Overwrite whole anon pages, discarding their old content.
+
+    This models page zeroing on (re)allocation, copy-on-write, and page
+    migration -- the guest activities that cause *false swap reads*
+    (Section 3).
+    """
+
+    region: str
+    start: int
+    npages: int
+    pattern: WritePattern = WritePattern.FULL_SEQUENTIAL
+    touch_cost: float = 0.0
+
+
+@dataclass(frozen=True)
+class Free:
+    """Release the anon region; its pages return to the guest free list."""
+
+    region: str
+
+
+@dataclass(frozen=True)
+class DropCaches:
+    """Guest drops its clean page cache (``echo 3 > drop_caches``)."""
+
+
+@dataclass(frozen=True)
+class MarkPhase:
+    """Record a named phase boundary in the metrics timeline."""
+
+    name: str
+    payload: dict = field(default_factory=dict)
+
+
+#: Union of every operation a workload may yield.
+Operation = (
+    Compute
+    | FileRead
+    | FileWrite
+    | FileSync
+    | Alloc
+    | Touch
+    | Overwrite
+    | Free
+    | DropCaches
+    | MarkPhase
+)

@@ -1,0 +1,59 @@
+"""Size and time units used throughout the simulation.
+
+The simulator works in *pages* (4 KiB) for memory and *sectors* (512 B)
+for disk transfers, mirroring the granularities the paper reasons in
+(Section 4.1 "Page Alignment" discusses the 4 KiB constraint, and the
+figures report disk traffic in sectors).
+
+Virtual time is a ``float`` number of seconds.
+"""
+
+from __future__ import annotations
+
+#: Bytes per memory page (x86 base page size).
+PAGE_SIZE = 4096
+
+#: Bytes per disk sector (legacy 512-byte logical sectors).
+SECTOR_SIZE = 512
+
+#: Sectors that make up one page.
+SECTORS_PER_PAGE = PAGE_SIZE // SECTOR_SIZE
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def pages_from_bytes(nbytes: int) -> int:
+    """Number of whole pages needed to hold ``nbytes`` (rounds up)."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def bytes_from_pages(npages: int) -> int:
+    """Byte size of ``npages`` pages."""
+    if npages < 0:
+        raise ValueError(f"negative page count: {npages}")
+    return npages * PAGE_SIZE
+
+
+def sectors_from_pages(npages: int) -> int:
+    """Disk sectors occupied by ``npages`` pages."""
+    if npages < 0:
+        raise ValueError(f"negative page count: {npages}")
+    return npages * SECTORS_PER_PAGE
+
+
+def mib(n: float) -> int:
+    """``n`` mebibytes expressed in bytes (rounded to an int)."""
+    return int(n * MIB)
+
+
+def mib_pages(n: float) -> int:
+    """``n`` mebibytes expressed in whole 4 KiB pages."""
+    return pages_from_bytes(mib(n))
+
+
+USEC = 1e-6
+MSEC = 1e-3

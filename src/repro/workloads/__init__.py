@@ -1,0 +1,28 @@
+"""Behavioural models of the paper's benchmark applications.
+
+Each workload is a generator of :mod:`repro.sim.ops` operations that
+reproduces the *memory and I/O behaviour class* of the real program --
+the only aspect of the benchmark the paper's memory-management
+comparison depends on (see DESIGN.md, substitution table).
+"""
+
+from repro.workloads.base import Workload, page_chunks
+from repro.workloads.sysbench import SysbenchFileRead
+from repro.workloads.alloctouch import AllocTouch, SysbenchThenAlloc
+from repro.workloads.pbzip import BzipCompress, PbzipCompress
+from repro.workloads.kernbench import Kernbench
+from repro.workloads.dacapo import EclipseWorkload
+from repro.workloads.mapreduce import MetisMapReduce
+
+__all__ = [
+    "Workload",
+    "page_chunks",
+    "SysbenchFileRead",
+    "AllocTouch",
+    "SysbenchThenAlloc",
+    "PbzipCompress",
+    "BzipCompress",
+    "Kernbench",
+    "EclipseWorkload",
+    "MetisMapReduce",
+]

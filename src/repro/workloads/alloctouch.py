@@ -1,0 +1,81 @@
+"""Allocate-and-touch microbenchmark (Figure 10).
+
+The paper extends Sysbench so that, after the read phase, it forks a
+process that allocates and sequentially accesses 200 MB.  The freshly
+allocated pages are recycled guest frames -- mostly swapped out by the
+host -- so every demand-zero allocation is a whole-page overwrite of a
+swapped page: the false-swap-read generator the Preventer targets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.ops import Alloc, Compute, MarkPhase, Operation, Touch
+from repro.units import USEC, mib_pages
+from repro.workloads.base import Workload, page_chunks
+from repro.workloads.sysbench import SysbenchFileRead
+
+
+class AllocTouch(Workload):
+    """Allocate ``alloc_pages`` and walk them sequentially, writing."""
+
+    name = "alloc-touch"
+
+    def __init__(
+        self,
+        *,
+        alloc_pages: int = mib_pages(200),
+        touch_cost: float = 2 * USEC,
+        chunk_pages: int = 256,
+        region: str = "childbuf",
+        margin_pages: int | None = None,
+    ) -> None:
+        self.alloc_pages = alloc_pages
+        self.touch_cost = touch_cost
+        self.chunk_pages = chunk_pages
+        self.region = region
+        if margin_pages is None:
+            margin_pages = min(mib_pages(16), alloc_pages // 4)
+        self.min_resident_pages = alloc_pages + margin_pages
+
+    def operations(self) -> Iterator[Operation]:
+        yield MarkPhase("alloc-start",
+                        {"min_resident_pages": self.min_resident_pages})
+        yield Alloc(self.region, self.alloc_pages)
+        for offset, length in page_chunks(self.alloc_pages,
+                                          self.chunk_pages):
+            yield Touch(self.region, offset, length, write=True,
+                        touch_cost=self.touch_cost)
+        yield Compute(0.01)
+        yield MarkPhase("alloc-end")
+
+
+class SysbenchThenAlloc(Workload):
+    """Figure 10's composite: the read benchmark, then the allocator.
+
+    Kept as one workload so the allocator inherits the polluted guest
+    free list the read phase leaves behind.
+    """
+
+    name = "sysbench-then-alloc"
+
+    def __init__(
+        self,
+        *,
+        file_pages: int = mib_pages(200),
+        alloc_pages: int = mib_pages(200),
+        read_iterations: int = 1,
+    ) -> None:
+        self.reader = SysbenchFileRead(
+            file_pages=file_pages, iterations=read_iterations)
+        self.allocator = AllocTouch(alloc_pages=alloc_pages)
+        # While reading, only the reader's needs apply; the driver's
+        # initial value uses the reader's small floor.  The allocator
+        # raises it through its MarkPhase payload.
+        self.min_resident_pages = self.reader.min_resident_pages
+
+    def operations(self) -> Iterator[Operation]:
+        yield from self.reader.operations()
+        yield MarkPhase("fork-allocator")
+        yield from self.allocator.operations()

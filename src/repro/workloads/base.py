@@ -1,0 +1,51 @@
+"""Workload base class and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.sim.ops import Operation
+
+#: Default operation granularity: big enough to amortize dispatch,
+#: small enough that multiple guests interleave fairly on the engine.
+DEFAULT_CHUNK_PAGES = 256
+
+
+def page_chunks(total_pages: int,
+                chunk: int = DEFAULT_CHUNK_PAGES) -> Iterator[tuple[int, int]]:
+    """Yield (offset, length) covering ``total_pages`` in ``chunk`` steps."""
+    if total_pages < 0:
+        raise ConfigError(f"negative page count: {total_pages}")
+    if chunk <= 0:
+        raise ConfigError(f"non-positive chunk: {chunk}")
+    offset = 0
+    while offset < total_pages:
+        length = min(chunk, total_pages - offset)
+        yield offset, length
+        offset += length
+
+
+class Workload(abc.ABC):
+    """A program the guest runs, as a stream of operations.
+
+    Subclasses set :attr:`threads` (drives async-page-fault overlap)
+    and :attr:`min_resident_pages` (the resident set below which the
+    guest's OOM killer fires during over-ballooning -- an empirical
+    stand-in for reclaim-failure kills; see DESIGN.md).
+    """
+
+    #: Human-readable workload name.
+    name: str = "workload"
+    #: Guest threads able to run concurrently.
+    threads: int = 1
+    #: Pages the workload must keep resident to survive.
+    min_resident_pages: int = 0
+
+    @abc.abstractmethod
+    def operations(self) -> Iterator[Operation]:
+        """The operation stream, consumed once by a VmDriver."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,98 @@
+"""DaCapo Eclipse: a JVM-shaped workload (Figures 13 and 15).
+
+The paper picks Eclipse because the JVM garbage collector sweeps the
+whole heap cyclically -- the canonical LRU pathology once the heap no
+longer fits in the memory actually granted.  The model alternates
+bursts of mutator work (random heap writes plus workspace file reads)
+with full-heap GC sweeps, on top of a large resident JVM/IDE footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.ops import (
+    Alloc,
+    Compute,
+    FileRead,
+    MarkPhase,
+    Operation,
+    Touch,
+)
+from repro.sim.rng import DeterministicRng
+from repro.units import USEC, mib_pages
+from repro.workloads.base import Workload, page_chunks
+
+
+class EclipseWorkload(Workload):
+    """Eclipse/DaCapo behavioural model: JVM heap + workspace files."""
+
+    name = "dacapo-eclipse"
+
+    def __init__(
+        self,
+        *,
+        heap_pages: int = mib_pages(128),
+        jvm_resident_pages: int = mib_pages(288),
+        workspace_pages: int = mib_pages(160),
+        work_units: int = 220,
+        unit_cpu_seconds: float = 0.55,
+        mutator_touch_pages: int = 512,
+        workspace_read_pages: int = 64,
+        gc_every_units: int = 6,
+        threads: int = 2,
+        min_resident_pages: int = mib_pages(416),
+        seed: int = 11,
+    ) -> None:
+        self.heap_pages = heap_pages
+        self.jvm_resident_pages = jvm_resident_pages
+        self.workspace_pages = workspace_pages
+        self.work_units = work_units
+        self.unit_cpu_seconds = unit_cpu_seconds
+        self.mutator_touch_pages = mutator_touch_pages
+        self.workspace_read_pages = workspace_read_pages
+        self.gc_every_units = gc_every_units
+        self.threads = threads
+        self.min_resident_pages = min_resident_pages
+        self.seed = seed
+        self.workspace_file = "eclipse-workspace"
+
+    def operations(self) -> Iterator[Operation]:
+        rng = DeterministicRng(self.seed)
+        yield MarkPhase("eclipse-start",
+                        {"min_resident_pages": self.min_resident_pages})
+        # JVM + IDE resident footprint: touched once, revisited slowly.
+        yield Alloc("jvm", self.jvm_resident_pages)
+        for offset, length in page_chunks(self.jvm_resident_pages, 512):
+            yield Touch("jvm", offset, length, write=True)
+        yield Alloc("heap", self.heap_pages)
+        for offset, length in page_chunks(self.heap_pages, 512):
+            yield Touch("heap", offset, length, write=True)
+
+        burst = min(64, self.heap_pages)
+        jvm_touch = min(256, self.jvm_resident_pages)
+        for unit in range(self.work_units):
+            # Mutator burst: random writes across the heap.
+            for _ in range(max(1, self.mutator_touch_pages // burst)):
+                start = rng.randint(0, max(0, self.heap_pages - burst))
+                yield Touch("heap", start, burst, write=True,
+                            touch_cost=1 * USEC)
+            # Workspace I/O: read a random extent of project files.
+            ws_len = min(self.workspace_read_pages, self.workspace_pages)
+            ws_off = rng.randint(
+                0, max(0, self.workspace_pages - ws_len))
+            yield FileRead(self.workspace_file, ws_off, ws_len,
+                           touch_cost=1 * USEC)
+            yield Compute(self.unit_cpu_seconds)
+            # Keep parts of the JVM footprint warm.
+            jvm_off = rng.randint(
+                0, max(0, self.jvm_resident_pages - jvm_touch))
+            yield Touch("jvm", jvm_off, jvm_touch, write=False)
+            if (unit + 1) % self.gc_every_units == 0:
+                yield MarkPhase("gc", {"unit": unit})
+                # Full-heap sweep: reads everything, dirties a third.
+                for offset, length in page_chunks(self.heap_pages, 512):
+                    yield Touch("heap", offset, length, write=False,
+                                touch_cost=0.3 * USEC)
+                    yield Touch("heap", offset, length // 3, write=True)
+        yield MarkPhase("eclipse-end")

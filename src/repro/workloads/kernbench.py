@@ -1,0 +1,90 @@
+"""Kernbench: a kernel-compile-shaped workload (Figure 12).
+
+A build is thousands of short-lived compiler processes: each reads a
+few source pages, allocates and zeroes a working set, burns CPU, emits
+a small object file, and exits -- returning its pages to the allocator
+for the *next* process to reuse.  That churn of demand-zero allocation
+over recycled (possibly host-swapped) frames is what makes kernbench
+the paper's showcase for the Preventer (Figure 12b's ~80 K remaps).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.ops import (
+    Alloc,
+    Compute,
+    FileRead,
+    FileWrite,
+    Free,
+    MarkPhase,
+    Operation,
+    Touch,
+)
+from repro.sim.rng import DeterministicRng
+from repro.units import USEC, mib_pages
+from repro.workloads.base import Workload, page_chunks
+
+
+class Kernbench(Workload):
+    """Compile-farm behavioural model."""
+
+    name = "kernbench"
+
+    def __init__(
+        self,
+        *,
+        compile_units: int = 2400,
+        unit_working_set_pages: int = 2048,   # ~8 MB per compiler
+        unit_cpu_seconds: float = 0.45,
+        source_pages: int = mib_pages(480),
+        source_read_pages: int = 48,
+        object_write_pages: int = 12,
+        threads: int = 2,
+        min_resident_pages: int = mib_pages(96),
+        seed: int = 7,
+    ) -> None:
+        self.compile_units = compile_units
+        self.unit_working_set_pages = unit_working_set_pages
+        self.unit_cpu_seconds = unit_cpu_seconds
+        self.source_pages = source_pages
+        self.source_read_pages = source_read_pages
+        self.object_write_pages = object_write_pages
+        self.threads = threads
+        self.min_resident_pages = min_resident_pages
+        self.seed = seed
+        self.source_file = "kernel-src"
+        self.object_file = "kernel-obj"
+
+    def operations(self) -> Iterator[Operation]:
+        rng = DeterministicRng(self.seed)
+        yield MarkPhase("kernbench-start",
+                        {"min_resident_pages": self.min_resident_pages})
+        objects_written = 0
+        for unit in range(self.compile_units):
+            # Read this unit's sources (headers revisit earlier pages,
+            # so reads hit the page cache once it is warm).
+            src_len = min(self.source_read_pages, self.source_pages)
+            src_off = rng.randint(
+                0, max(0, self.source_pages - src_len))
+            yield FileRead(self.source_file, src_off, src_len,
+                           touch_cost=1 * USEC)
+            # The compiler process: allocate + demand-zero its arena.
+            region = f"cc-{unit}"
+            yield Alloc(region, self.unit_working_set_pages)
+            for offset, length in page_chunks(
+                    self.unit_working_set_pages, 512):
+                yield Touch(region, offset, length, write=True,
+                            touch_cost=0.5 * USEC)
+            yield Compute(self.unit_cpu_seconds)
+            # Emit the object file and exit (pages return to the guest).
+            yield FileWrite(self.object_file, objects_written,
+                            self.object_write_pages)
+            objects_written += self.object_write_pages
+            yield Free(region)
+        yield MarkPhase("kernbench-end")
+
+    def object_file_pages(self) -> int:
+        """Total pages the object file needs (for image sizing)."""
+        return self.compile_units * self.object_write_pages

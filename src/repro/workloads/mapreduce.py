@@ -1,0 +1,97 @@
+"""Metis MapReduce word-count (Figures 4 and 14).
+
+Word-count over a 300 MB input with roughly 1 GB of in-memory tables:
+the map phase streams the input while inserting into hash tables
+(progressive first-touch of table pages plus random re-writes), the
+reduce phase walks the tables, and a small output file is emitted.
+The large, quickly built anonymous footprint is what stresses balloon
+managers when several of these start seconds apart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.ops import (
+    Alloc,
+    Compute,
+    FileRead,
+    FileSync,
+    FileWrite,
+    MarkPhase,
+    Operation,
+    Touch,
+)
+from repro.sim.rng import DeterministicRng
+from repro.units import USEC, mib_pages
+from repro.workloads.base import Workload, page_chunks
+
+
+class MetisMapReduce(Workload):
+    """Word-count behavioural model."""
+
+    name = "metis-wordcount"
+
+    def __init__(
+        self,
+        *,
+        input_pages: int = mib_pages(300),
+        table_pages: int = mib_pages(1024),
+        chunk_pages: int = 256,
+        map_cost_per_page: float = 450 * USEC,
+        reduce_cost_per_page: float = 25 * USEC,
+        random_updates_per_chunk: int = 4,
+        output_pages: int = mib_pages(8),
+        threads: int = 2,
+        min_resident_pages: int = mib_pages(640),
+        seed: int = 23,
+    ) -> None:
+        self.input_pages = input_pages
+        self.table_pages = table_pages
+        self.chunk_pages = chunk_pages
+        self.map_cost_per_page = map_cost_per_page
+        self.reduce_cost_per_page = reduce_cost_per_page
+        self.random_updates_per_chunk = random_updates_per_chunk
+        self.output_pages = output_pages
+        self.threads = threads
+        self.min_resident_pages = min_resident_pages
+        self.seed = seed
+        self.input_file = "metis-input"
+        self.output_file = "metis-output"
+
+    def operations(self) -> Iterator[Operation]:
+        rng = DeterministicRng(self.seed)
+        yield MarkPhase("map-start",
+                        {"min_resident_pages": self.min_resident_pages})
+        yield Alloc("tables", self.table_pages)
+
+        table_built = 0
+        offset = 0
+        while offset < self.input_pages:
+            length = min(self.chunk_pages, self.input_pages - offset)
+            yield FileRead(self.input_file, offset, length,
+                           touch_cost=1 * USEC)
+            # Table growth proportional to input consumed: first-touch
+            # (demand-zero) of new table pages.
+            target = int(
+                self.table_pages * (offset + length) / self.input_pages)
+            if target > table_built:
+                yield Touch("tables", table_built, target - table_built,
+                            write=True, touch_cost=1 * USEC)
+                table_built = target
+            # Hash updates scattered over what is already built.
+            for _ in range(self.random_updates_per_chunk):
+                if table_built > 64:
+                    start = rng.randint(0, table_built - 64)
+                    yield Touch("tables", start, 64, write=True)
+            yield Compute(self.map_cost_per_page * length)
+            offset += length
+
+        yield MarkPhase("reduce-start")
+        for toff, tlen in page_chunks(self.table_pages, 1024):
+            yield Touch("tables", toff, tlen, write=False,
+                        touch_cost=0.2 * USEC)
+            yield Compute(self.reduce_cost_per_page * tlen)
+        yield FileWrite(self.output_file, 0, self.output_pages)
+        yield FileSync(self.output_file)
+        yield MarkPhase("reduce-end")

@@ -1,0 +1,101 @@
+"""pbzip2-style parallel compression (Figures 5 and 11).
+
+Behavioural skeleton of compressing a source tree: stream the input
+file through per-thread block buffers, burn compression CPU, and write
+the (smaller) output.  Two properties matter to the paper:
+
+* the guest page cache fills with the streamed input (host pressure),
+* worker buffers are *reused* per block -- whole-page overwrites that
+  become false reads whenever the host swapped a buffer page out,
+
+and the thread count enables KVM's asynchronous page faults, which the
+paper chose this benchmark to exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sim.ops import (
+    Alloc,
+    Compute,
+    FileRead,
+    FileSync,
+    FileWrite,
+    MarkPhase,
+    Operation,
+    Overwrite,
+)
+from repro.units import USEC, mib_pages
+from repro.workloads.base import Workload
+
+
+class PbzipCompress(Workload):
+    """Parallel block-sorting compressor over one input file."""
+
+    name = "pbzip2"
+
+    def __init__(
+        self,
+        *,
+        input_pages: int = mib_pages(500),
+        threads: int = 8,
+        block_pages: int = 256,          # ~1 MB compression blocks
+        compress_cost_per_page: float = 950 * USEC,
+        output_ratio: float = 0.22,
+        min_resident_pages: int = mib_pages(220),
+    ) -> None:
+        self.input_pages = input_pages
+        self.threads = threads
+        self.block_pages = block_pages
+        self.compress_cost_per_page = compress_cost_per_page
+        self.output_ratio = output_ratio
+        self.min_resident_pages = min_resident_pages
+        self.input_file = "pbzip-input"
+        self.output_file = "pbzip-output"
+
+    def operations(self) -> Iterator[Operation]:
+        yield MarkPhase("pbzip-start",
+                        {"min_resident_pages": self.min_resident_pages})
+        # Per-thread block buffers, allocated once and reused per block.
+        for t in range(self.threads):
+            yield Alloc(f"pbzip-buf-{t}", self.block_pages)
+
+        out_pages_written = 0
+        out_total = int(self.input_pages * self.output_ratio)
+        offset = 0
+        block_index = 0
+        while offset < self.input_pages:
+            length = min(self.block_pages, self.input_pages - offset)
+            thread = block_index % self.threads
+            yield FileRead(self.input_file, offset, length,
+                           touch_cost=2 * USEC)
+            # The worker overwrites its buffer wholesale with the new
+            # block -- discarding the previous block's bytes.
+            yield Overwrite(f"pbzip-buf-{thread}", 0, self.block_pages)
+            yield Compute(self.compress_cost_per_page * length)
+            # Emit the compressed output accumulated so far.
+            target = int(
+                out_total * (offset + length) / self.input_pages)
+            if target > out_pages_written:
+                yield FileWrite(self.output_file, out_pages_written,
+                                target - out_pages_written)
+                out_pages_written = target
+            offset += length
+            block_index += 1
+        if out_pages_written < out_total:
+            yield FileWrite(self.output_file, out_pages_written,
+                            out_total - out_pages_written)
+        yield FileSync(self.output_file)
+        yield MarkPhase("pbzip-end")
+
+
+class BzipCompress(PbzipCompress):
+    """Single-threaded bzip2 (the Windows-guest experiment, Section 5.4)."""
+
+    name = "bzip2"
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("threads", 1)
+        super().__init__(**kwargs)
+        self.threads = 1

@@ -1,0 +1,104 @@
+"""Balloon sizing policies."""
+
+import pytest
+
+from repro.balloon.policy import (
+    BalloonPolicy,
+    GuestObservation,
+    ProportionalSharePolicy,
+)
+from repro.errors import ConfigError
+
+
+def obs(total=4096, free=1024, cache_clean=512, cache_dirty=0,
+        anon=1024, pinned=0, swap_activity=0):
+    stats = {
+        "total": total,
+        "free": free,
+        "cache_clean": cache_clean,
+        "cache_dirty": cache_dirty,
+        "anon_resident": anon,
+        "pinned": pinned,
+        "min_resident": 0,
+        "kernel_reserve": 128,
+    }
+    return GuestObservation(stats, swap_activity)
+
+
+def test_idle_guest_inflated_under_host_pressure():
+    policy = BalloonPolicy()
+    decision = policy.decide({0: obs(free=2048)}, host_evictions_since_last=10_000)
+    assert decision.host_pressure
+    assert decision.targets[0] > 0
+
+
+def test_no_pressure_no_change():
+    policy = BalloonPolicy()
+    decision = policy.decide({0: obs(pinned=100)},
+                             host_evictions_since_last=0)
+    assert decision.targets[0] == 100
+
+
+def test_guest_pressure_deflates():
+    policy = BalloonPolicy()
+    observation = obs(free=10, pinned=1000)
+    decision = policy.decide({0: observation},
+                             host_evictions_since_last=10_000)
+    assert decision.targets[0] < 1000
+
+
+def test_guest_swapping_deflates():
+    policy = BalloonPolicy()
+    observation = obs(free=2048, pinned=1000, swap_activity=10_000)
+    decision = policy.decide({0: observation},
+                             host_evictions_since_last=10_000)
+    assert decision.targets[0] < 1000
+
+
+def test_balloon_capped_at_65_percent():
+    policy = BalloonPolicy()
+    observation = obs(total=1000, free=990, cache_clean=0, anon=0,
+                      pinned=649)
+    for _ in range(50):
+        decision = policy.decide({0: observation},
+                                 host_evictions_since_last=10_000)
+    assert decision.targets[0] <= 650
+
+
+def test_target_never_negative():
+    policy = BalloonPolicy()
+    observation = obs(free=0, pinned=10, swap_activity=10**6)
+    decision = policy.decide({0: observation}, 0)
+    assert decision.targets[0] >= 0
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ConfigError):
+        BalloonPolicy(balloon_max_fraction=2.0)
+    with pytest.raises(ConfigError):
+        BalloonPolicy(inflate_step_fraction=0)
+
+
+def test_proportional_policy_squeezes_proportionally():
+    policy = ProportionalSharePolicy(host_capacity_pages=4096)
+    observations = {
+        0: obs(total=4096, anon=3000, cache_clean=0, free=968),
+        1: obs(total=4096, anon=1000, cache_clean=0, free=2968),
+    }
+    decision = policy.decide(observations, 0)
+    # The hungrier guest keeps more memory => smaller balloon share of
+    # its demand, but both are squeezed when oversubscribed.
+    assert decision.targets[0] < decision.targets[1]
+
+
+def test_proportional_policy_satisfies_when_undersubscribed():
+    policy = ProportionalSharePolicy(host_capacity_pages=100_000)
+    observations = {0: obs(total=4096, anon=1000)}
+    decision = policy.decide(observations, 0)
+    demand = policy.demand_of(observations[0].stats)
+    assert decision.targets[0] == 4096 - demand
+
+
+def test_proportional_policy_requires_capacity():
+    with pytest.raises(ConfigError):
+        ProportionalSharePolicy(host_capacity_pages=0)

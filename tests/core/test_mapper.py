@@ -1,0 +1,132 @@
+"""Swap Mapper association bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapper import METADATA_BYTES_PER_PAGE, SwapMapper
+from repro.errors import ConsistencyError
+
+
+def test_track_creates_resident_association():
+    mapper = SwapMapper()
+    mapper.track(gpa=1, block=100)
+    assert mapper.is_tracked(1)
+    assert mapper.is_tracked_resident(1)
+    assert not mapper.is_discarded(1)
+    assert mapper.block_of(1) == 100
+
+
+def test_latest_wins_on_gpa():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    mapper.track(1, 200)
+    assert mapper.block_of(1) == 200
+    assert mapper.owner_of_block(100) is None
+
+
+def test_latest_wins_on_block():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    mapper.track(2, 100)
+    assert not mapper.is_tracked(1)
+    assert mapper.owner_of_block(100).gpa == 2
+
+
+def test_break_cow_severs():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    assert mapper.break_cow(1)
+    assert not mapper.is_tracked(1)
+    assert mapper.owner_of_block(100) is None
+
+
+def test_break_cow_untracked_is_false():
+    assert not SwapMapper().break_cow(5)
+
+
+def test_break_cow_on_discarded_is_inconsistent():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    mapper.mark_discarded(1)
+    with pytest.raises(ConsistencyError):
+        mapper.break_cow(1)
+
+
+def test_discard_refault_cycle():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    assert mapper.mark_discarded(1) == 100
+    assert mapper.is_discarded(1)
+    assert mapper.mark_refaulted(1) == 100
+    assert mapper.is_tracked_resident(1)
+
+
+def test_double_discard_rejected():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    mapper.mark_discarded(1)
+    with pytest.raises(ConsistencyError):
+        mapper.mark_discarded(1)
+
+
+def test_refault_of_resident_rejected():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    with pytest.raises(ConsistencyError):
+        mapper.mark_refaulted(1)
+
+
+def test_operations_on_untracked_rejected():
+    mapper = SwapMapper()
+    with pytest.raises(ConsistencyError):
+        mapper.mark_discarded(9)
+    with pytest.raises(ConsistencyError):
+        mapper.block_of(9)
+
+
+def test_discarded_gpa_for_block():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    assert mapper.discarded_gpa_for_block(100) is None  # resident
+    mapper.mark_discarded(1)
+    assert mapper.discarded_gpa_for_block(100) == 1
+
+
+def test_drop_gpa():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    assert mapper.drop_gpa(1)
+    assert not mapper.drop_gpa(1)
+    assert mapper.tracked_pages == 0
+
+
+def test_gauges():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    mapper.track(2, 200)
+    mapper.mark_discarded(2)
+    assert mapper.tracked_pages == 2
+    assert mapper.tracked_resident_pages == 1
+    assert mapper.metadata_bytes == 2 * METADATA_BYTES_PER_PAGE
+    assert mapper.peak_tracked == 2
+    mapper.drop_gpa(1)
+    assert mapper.peak_tracked == 2  # peak is sticky
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                max_size=60))
+def test_property_bijection(pairs):
+    """gpa->block and block->gpa stay mutually consistent."""
+    mapper = SwapMapper()
+    for gpa, block in pairs:
+        mapper.track(gpa, block)
+        assert mapper.block_of(gpa) == block
+        owner = mapper.owner_of_block(block)
+        assert owner is not None and owner.gpa == gpa
+    # Global check: every tracked gpa's block maps back to that gpa.
+    for gpa, block in pairs:
+        if mapper.is_tracked(gpa):
+            back = mapper.owner_of_block(mapper.block_of(gpa))
+            assert back.gpa == gpa

@@ -1,0 +1,111 @@
+"""False Reads Preventer policy decisions."""
+
+from repro.config import VSwapperConfig
+from repro.core.preventer import FalseReadsPreventer, OverwriteVerdict
+from repro.sim.ops import WritePattern
+
+
+def make_preventer(**overrides):
+    config = VSwapperConfig(
+        enable_mapper=True, enable_preventer=True, **overrides)
+    return FalseReadsPreventer(config)
+
+
+def test_full_sequential_remaps():
+    preventer = make_preventer()
+    verdict = preventer.classify_overwrite(
+        1, WritePattern.FULL_SEQUENTIAL, now=0.0)
+    assert verdict is OverwriteVerdict.REMAP
+    assert not preventer.is_emulated(1)
+
+
+def test_scattered_falls_back():
+    preventer = make_preventer()
+    verdict = preventer.classify_overwrite(
+        1, WritePattern.SCATTERED, now=0.0)
+    assert verdict is OverwriteVerdict.FALLBACK
+
+
+def test_partial_buffers():
+    preventer = make_preventer()
+    verdict = preventer.classify_overwrite(
+        1, WritePattern.PARTIAL, now=0.0)
+    assert verdict is OverwriteVerdict.BUFFERED
+    assert preventer.is_emulated(1)
+    assert preventer.pages_under_emulation == 1
+
+
+def test_partial_then_full_completes():
+    preventer = make_preventer()
+    preventer.classify_overwrite(1, WritePattern.PARTIAL, now=0.0)
+    verdict = preventer.classify_overwrite(
+        1, WritePattern.FULL_SEQUENTIAL, now=0.0005)
+    assert verdict is OverwriteVerdict.REMAP
+    assert not preventer.is_emulated(1)
+
+
+def test_partial_then_scattered_aborts():
+    preventer = make_preventer()
+    preventer.classify_overwrite(1, WritePattern.PARTIAL, now=0.0)
+    verdict = preventer.classify_overwrite(
+        1, WritePattern.SCATTERED, now=0.0005)
+    assert verdict is OverwriteVerdict.FALLBACK
+    assert not preventer.is_emulated(1)
+
+
+def test_cap_blocks_new_partial_buffers():
+    preventer = make_preventer(preventer_max_pages=2)
+    assert preventer.classify_overwrite(
+        1, WritePattern.PARTIAL, 0.0) is OverwriteVerdict.BUFFERED
+    assert preventer.classify_overwrite(
+        2, WritePattern.PARTIAL, 0.0) is OverwriteVerdict.BUFFERED
+    assert preventer.classify_overwrite(
+        3, WritePattern.PARTIAL, 0.0) is OverwriteVerdict.FALLBACK
+
+
+def test_cap_blocks_full_overwrites_of_new_pages():
+    preventer = make_preventer(preventer_max_pages=1)
+    preventer.classify_overwrite(1, WritePattern.PARTIAL, 0.0)
+    assert preventer.classify_overwrite(
+        2, WritePattern.FULL_SEQUENTIAL, 0.0) is OverwriteVerdict.FALLBACK
+
+
+def test_existing_buffer_can_always_complete():
+    preventer = make_preventer(preventer_max_pages=1)
+    preventer.classify_overwrite(1, WritePattern.PARTIAL, 0.0)
+    assert preventer.classify_overwrite(
+        1, WritePattern.FULL_SEQUENTIAL, 0.0) is OverwriteVerdict.REMAP
+
+
+def test_window_expiry():
+    preventer = make_preventer(preventer_window=1e-3)
+    preventer.classify_overwrite(1, WritePattern.PARTIAL, now=0.0)
+    preventer.classify_overwrite(2, WritePattern.PARTIAL, now=0.0008)
+    lapsed = preventer.expired(now=0.0011)
+    assert lapsed == [1]
+    assert preventer.is_emulated(2)
+    assert not preventer.is_emulated(1)
+
+
+def test_force_close():
+    preventer = make_preventer()
+    preventer.classify_overwrite(1, WritePattern.PARTIAL, 0.0)
+    assert preventer.force_close(1)
+    assert not preventer.force_close(1)
+
+
+def test_close_all():
+    preventer = make_preventer()
+    preventer.classify_overwrite(1, WritePattern.PARTIAL, 0.0)
+    preventer.classify_overwrite(2, WritePattern.PARTIAL, 0.0)
+    assert sorted(preventer.close_all()) == [1, 2]
+    assert preventer.pages_under_emulation == 0
+
+
+def test_rep_detection_cheapens_full_overwrites():
+    with_rep = make_preventer(rep_prefix_detection=True)
+    without = make_preventer(rep_prefix_detection=False)
+    assert (with_rep.emulation_cost(WritePattern.FULL_SEQUENTIAL)
+            < without.emulation_cost(WritePattern.FULL_SEQUENTIAL))
+    assert (with_rep.emulation_cost(WritePattern.PARTIAL)
+            == without.emulation_cost(WritePattern.PARTIAL))

@@ -1,0 +1,34 @@
+"""VSwapper facade configurations."""
+
+from repro.config import VSwapperConfig
+from repro.core.vswapper import VSwapper
+
+
+def test_off_has_no_components():
+    vswapper = VSwapper(VSwapperConfig.off())
+    assert vswapper.mapper is None
+    assert vswapper.preventer is None
+    assert not vswapper.active
+    assert vswapper.describe() == "baseline"
+
+
+def test_mapper_only():
+    vswapper = VSwapper(VSwapperConfig.mapper_only())
+    assert vswapper.mapper is not None
+    assert vswapper.preventer is None
+    assert vswapper.active
+    assert vswapper.describe() == "mapper"
+
+
+def test_full():
+    vswapper = VSwapper(VSwapperConfig.full())
+    assert vswapper.mapper is not None
+    assert vswapper.preventer is not None
+    assert vswapper.describe() == "vswapper"
+
+
+def test_preventer_only():
+    vswapper = VSwapper(VSwapperConfig(enable_preventer=True))
+    assert vswapper.mapper is None
+    assert vswapper.preventer is not None
+    assert vswapper.describe() == "preventer-only"

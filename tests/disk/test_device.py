@@ -1,0 +1,125 @@
+"""Shared disk device: queueing, head position, throttling."""
+
+import pytest
+
+from repro.disk.device import DiskDevice
+from repro.disk.latency import HddLatencyModel
+from repro.errors import DiskError
+from repro.sim.clock import Clock
+
+
+def make_device(max_write_backlog=0.25):
+    clock = Clock()
+    model = HddLatencyModel(bandwidth_bytes_per_sec=100e6,
+                            per_request_overhead=0.0)
+    return clock, DiskDevice(clock, model,
+                             max_write_backlog=max_write_backlog)
+
+
+def test_sequential_reads_are_cheap():
+    _clock, disk = make_device()
+    transfer = 8 * 512 / 100e6
+    first = disk.read(0, 8)
+    second = disk.read(8, 8)   # head continues: no seek
+    # Stalls are measured from the frozen clock, so the second request
+    # includes the first's service; its own increment is one transfer.
+    assert first == pytest.approx(transfer)
+    assert second - first == pytest.approx(transfer)
+
+
+def test_random_read_pays_seek():
+    _clock, disk = make_device()
+    disk.read(0, 8)
+    jump = disk.read(10**8, 8)
+    stay = 8 * 512 / 100e6
+    assert jump > stay * 5
+
+
+def test_queueing_serializes_requests():
+    _clock, disk = make_device()
+    stall1 = disk.read(10**8, 8)
+    stall2 = disk.read(0, 8)
+    assert stall2 > stall1  # waited behind the first request
+
+
+def test_busy_until_advances():
+    _clock, disk = make_device()
+    disk.read(0, 8)
+    assert disk.busy_until > 0
+
+
+def test_head_position_tracks_requests():
+    _clock, disk = make_device()
+    disk.read(100, 8)
+    assert disk.head_sector == 108
+
+
+def test_async_write_returns_zero_when_backlog_small():
+    _clock, disk = make_device(max_write_backlog=10.0)
+    assert disk.write_async(0, 8) == 0.0
+
+
+def test_async_write_throttles_when_backlogged():
+    _clock, disk = make_device(max_write_backlog=0.001)
+    stall = 0.0
+    for i in range(200):
+        stall = disk.write_async(i * 10**6, 8)
+    assert stall > 0.0
+
+
+def test_stats_track_reads_and_writes():
+    _clock, disk = make_device()
+    disk.read(0, 8)
+    disk.write_sync(100, 16)
+    assert disk.stats.sectors_read == 8
+    assert disk.stats.sectors_written == 16
+    assert disk.stats.requests == 2
+
+
+def test_stats_per_region():
+    _clock, disk = make_device()
+    disk.read(0, 8, region="image")
+    disk.read(100, 8, region="swap")
+    disk.read(200, 8, region="swap")
+    assert disk.stats.per_region_requests == {"image": 1, "swap": 2}
+
+
+def test_rejects_bad_requests():
+    _clock, disk = make_device()
+    with pytest.raises(DiskError):
+        disk.read(0, 0)
+    with pytest.raises(DiskError):
+        disk.read(-5, 8)
+
+
+def test_quiesce_resets_queue_and_stats():
+    clock, disk = make_device()
+    disk.read(10**8, 8)
+    disk.quiesce()
+    assert disk.busy_until == clock.now
+    assert disk.stats.requests == 0
+
+
+def test_clock_advance_drains_queue():
+    clock, disk = make_device()
+    disk.read(10**8, 8)
+    clock.advance_to(100.0)
+    # A new request after the queue drained waits only its own service.
+    stall = disk.read(10**8 + 8, 8)
+    assert stall < 0.01
+
+
+def test_utilization():
+    clock, disk = make_device()
+    disk.read(10**8, 8)
+    clock.advance_to(1.0)
+    assert 0.0 < disk.utilization(1.0) <= 1.0
+    assert disk.utilization(0.0) == 0.0
+
+
+def test_read_async_occupies_head_without_stall():
+    _clock, disk = make_device()
+    completion = disk.read_async(10**8, 8)
+    assert completion > 0
+    stall = disk.read(0, 8)
+    assert stall >= completion * 0.9  # queued behind the async read

@@ -1,0 +1,80 @@
+"""Disk layout and regions."""
+
+import pytest
+
+from repro.disk.geometry import DiskLayout, DiskRegion
+from repro.errors import DiskError
+
+
+def test_regions_do_not_overlap():
+    layout = DiskLayout(gap_sectors=100)
+    a = layout.add_region("a", 1000)
+    b = layout.add_region("b", 1000)
+    assert b.base_sector >= a.base_sector + a.size_sectors + 100
+
+
+def test_region_lookup():
+    layout = DiskLayout()
+    region = layout.add_region("swap", 800)
+    assert layout.region("swap") is region
+
+
+def test_unknown_region_rejected():
+    with pytest.raises(DiskError):
+        DiskLayout().region("nope")
+
+
+def test_duplicate_region_rejected():
+    layout = DiskLayout()
+    layout.add_region("a", 100)
+    with pytest.raises(DiskError):
+        layout.add_region("a", 100)
+
+
+def test_non_positive_region_rejected():
+    with pytest.raises(DiskError):
+        DiskLayout().add_region("z", 0)
+
+
+def test_add_region_pages():
+    layout = DiskLayout()
+    region = layout.add_region_pages("img", 10)
+    assert region.size_sectors == 80
+    assert region.size_pages == 10
+
+
+def test_sector_of_page():
+    region = DiskRegion("r", base_sector=1000, size_sectors=80)
+    assert region.sector_of_page(0) == 1000
+    assert region.sector_of_page(9) == 1000 + 72
+
+
+def test_sector_of_page_out_of_range():
+    region = DiskRegion("r", base_sector=0, size_sectors=80)
+    with pytest.raises(DiskError):
+        region.sector_of_page(10)
+    with pytest.raises(DiskError):
+        region.sector_of_page(-1)
+
+
+def test_contains():
+    region = DiskRegion("r", base_sector=100, size_sectors=50)
+    assert region.contains(100)
+    assert region.contains(149)
+    assert not region.contains(150)
+    assert not region.contains(99)
+
+
+def test_total_sectors_grows():
+    layout = DiskLayout(gap_sectors=10)
+    layout.add_region("a", 100)
+    first = layout.total_sectors
+    layout.add_region("b", 100)
+    assert layout.total_sectors > first
+
+
+def test_regions_listed_in_order():
+    layout = DiskLayout()
+    layout.add_region("a", 10)
+    layout.add_region("b", 10)
+    assert [r.name for r in layout.regions()] == ["a", "b"]

@@ -1,0 +1,85 @@
+"""Virtual disk image content versioning."""
+
+import pytest
+
+from repro.disk.geometry import DiskRegion
+from repro.disk.image import BlockVersion, VirtualDiskImage
+from repro.errors import DiskError
+
+
+def make_image(pages=100):
+    return VirtualDiskImage(
+        DiskRegion("img", base_sector=1000, size_sectors=pages * 8))
+
+
+def test_fresh_blocks_are_version_zero():
+    image = make_image()
+    assert image.version_of(5) == 0
+
+
+def test_write_bumps_version():
+    image = make_image()
+    v1 = image.write(5)
+    v2 = image.write(5)
+    assert v1 == BlockVersion(5, 1)
+    assert v2 == BlockVersion(5, 2)
+
+
+def test_writes_are_per_block():
+    image = make_image()
+    image.write(1)
+    assert image.version_of(2) == 0
+
+
+def test_current_matches_write():
+    image = make_image()
+    version = image.write(3)
+    assert image.current(3) == version
+
+
+def test_matches_true_for_current_content():
+    image = make_image()
+    version = image.write(7)
+    assert image.matches(7, version)
+
+
+def test_matches_false_after_overwrite():
+    image = make_image()
+    old = image.write(7)
+    image.write(7)
+    assert not image.matches(7, old)
+
+
+def test_matches_false_for_other_block():
+    image = make_image()
+    version = image.write(7)
+    assert not image.matches(8, version)
+
+
+def test_matches_false_for_none():
+    image = make_image()
+    assert not image.matches(0, None)
+
+
+def test_sector_of():
+    image = make_image()
+    assert image.sector_of(0) == 1000
+    assert image.sector_of(2) == 1016
+
+
+def test_out_of_range_rejected():
+    image = make_image(pages=10)
+    with pytest.raises(DiskError):
+        image.version_of(10)
+    with pytest.raises(DiskError):
+        image.write(-1)
+    with pytest.raises(DiskError):
+        image.sector_of(100)
+
+
+def test_matches_false_for_non_block_content():
+    from repro.mem.page import ZERO, AnonContent
+    image = make_image()
+    image.write(3)
+    assert not image.matches(3, ZERO)
+    assert not image.matches(3, AnonContent.fresh())

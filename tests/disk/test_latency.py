@@ -1,0 +1,73 @@
+"""Disk latency models."""
+
+import pytest
+
+from repro.disk.latency import HddLatencyModel, SsdLatencyModel
+from repro.errors import DiskError
+
+
+def test_hdd_adjacent_request_pays_transfer_only():
+    model = HddLatencyModel(bandwidth_bytes_per_sec=100e6,
+                            per_request_overhead=0.0)
+    # 8 sectors = 4096 bytes at 100 MB/s.
+    assert model.service_time(0, 8) == pytest.approx(4096 / 100e6)
+
+
+def test_hdd_seek_adds_rotation():
+    model = HddLatencyModel(per_request_overhead=0.0)
+    adjacent = model.service_time(0, 8)
+    moved = model.service_time(1, 8)
+    assert moved > adjacent + model.rotation_half * 0.99
+
+
+def test_hdd_seek_grows_with_distance():
+    model = HddLatencyModel()
+    near = model.seek_time(1000)
+    far = model.seek_time(10**9)
+    assert far > near
+
+
+def test_hdd_seek_zero_distance_is_free():
+    assert HddLatencyModel().seek_time(0) == 0.0
+
+
+def test_hdd_seek_capped_at_max():
+    model = HddLatencyModel(seek_min=1e-3, seek_max=9e-3)
+    assert model.seek_time(10**18) == pytest.approx(9e-3)
+
+
+def test_hdd_rejects_non_positive_length():
+    model = HddLatencyModel()
+    with pytest.raises(DiskError):
+        model.service_time(0, 0)
+
+
+def test_hdd_rejects_bad_bandwidth():
+    with pytest.raises(DiskError):
+        HddLatencyModel(bandwidth_bytes_per_sec=0)
+
+
+def test_hdd_rejects_bad_rotation_fraction():
+    with pytest.raises(DiskError):
+        HddLatencyModel(rotation_fraction=1.5)
+
+
+def test_ssd_position_independent():
+    model = SsdLatencyModel()
+    assert model.service_time(0, 8) == model.service_time(10**9, 8)
+
+
+def test_ssd_faster_than_hdd_for_random():
+    ssd = SsdLatencyModel()
+    hdd = HddLatencyModel()
+    assert ssd.service_time(10**9, 8) < hdd.service_time(10**9, 8)
+
+
+def test_ssd_rejects_non_positive_length():
+    with pytest.raises(DiskError):
+        SsdLatencyModel().service_time(0, -1)
+
+
+def test_larger_transfers_take_longer():
+    for model in (HddLatencyModel(), SsdLatencyModel()):
+        assert model.service_time(0, 64) > model.service_time(0, 8)

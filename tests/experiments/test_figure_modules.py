@@ -1,0 +1,65 @@
+"""Figure-module helpers and configuration matrices."""
+
+from repro.experiments.dynamic import FIG14_CONFIGS, make_mapreduce
+from repro.experiments.fig05_11 import DEFAULT_MEMORY_SWEEP, FIG05_CONFIGS
+from repro.experiments.fig09 import FIG03_CONFIGS, FIG09_CONFIGS
+from repro.experiments.fig12 import make_kernbench
+from repro.experiments.fig13_15 import make_eclipse
+from repro.experiments.runner import ConfigName
+from repro.experiments.table1 import COMPONENT_FILES, PAPER_LOC, count_loc
+from repro.units import mib_pages
+
+
+def test_fig09_plots_the_papers_three_configs():
+    assert set(FIG09_CONFIGS) == {
+        ConfigName.BASELINE, ConfigName.VSWAPPER,
+        ConfigName.BALLOON_BASELINE}
+
+
+def test_fig03_adds_the_combination():
+    assert ConfigName.BALLOON_VSWAPPER in FIG03_CONFIGS
+    assert len(FIG03_CONFIGS) == 4
+
+
+def test_fig05_sweep_covers_the_papers_axis():
+    assert DEFAULT_MEMORY_SWEEP[0] == 512
+    assert DEFAULT_MEMORY_SWEEP[-1] == 128
+    assert 240 in DEFAULT_MEMORY_SWEEP  # the balloon-kill boundary
+    assert ConfigName.MAPPER in FIG05_CONFIGS
+
+
+def test_fig14_has_four_configs():
+    assert len(FIG14_CONFIGS) == 4
+
+
+def test_make_kernbench_scales():
+    full = make_kernbench(1)
+    eighth = make_kernbench(8)
+    assert eighth.compile_units == full.compile_units // 8
+    assert eighth.unit_working_set_pages == mib_pages(1)
+    assert eighth.min_resident_pages == mib_pages(12)
+
+
+def test_make_eclipse_scales():
+    workload = make_eclipse(8)
+    assert workload.heap_pages == mib_pages(16)
+    assert workload.min_resident_pages == mib_pages(52)
+
+
+def test_make_mapreduce_scales():
+    workload = make_mapreduce(8, seed=1)
+    assert workload.input_pages == mib_pages(37.5)
+    assert workload.table_pages == mib_pages(128)
+
+
+def test_table1_loc_counter(tmp_path):
+    source = tmp_path / "x.py"
+    source.write_text("# comment\n\ncode = 1\nmore = 2  # trailing\n")
+    assert count_loc(source) == 2
+
+
+def test_table1_paper_numbers_consistent():
+    for component in ("Mapper", "Preventer"):
+        user, kernel, total = PAPER_LOC[component]
+        assert user + kernel == total
+    assert set(COMPONENT_FILES) == {"Mapper", "Preventer", "shared facade"}

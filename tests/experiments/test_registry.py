@@ -1,0 +1,71 @@
+"""Experiment registry and CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    run_experiment,
+)
+
+#: Every table/figure in the paper's evaluation must be reproducible.
+PAPER_RESULTS = [
+    "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "table1", "table2",
+]
+
+
+def test_all_paper_results_registered():
+    for result_id in PAPER_RESULTS:
+        assert result_id in EXPERIMENTS, f"missing {result_id}"
+
+
+def test_extra_sections_registered():
+    assert "sec5.3" in EXPERIMENTS
+    assert "sec5.4" in EXPERIMENTS
+
+
+def test_ablations_registered():
+    assert any(k.startswith("ablation-") for k in EXPERIMENTS)
+
+
+def test_experiment_ids_sorted():
+    ids = experiment_ids()
+    assert ids == sorted(ids)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ExperimentError):
+        run_experiment("fig99")
+
+
+def test_run_experiment_table1():
+    result = run_experiment("table1")
+    assert "Mapper" in result.rendered
+    assert result.series["paper"]["sum"][2] == 2383
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out
+    assert "table2" in out
+
+
+def test_cli_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Preventer" in out
+    assert "regenerated" in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_parser_defaults():
+    args = build_parser().parse_args(["run", "fig3"])
+    assert args.scale == 4

@@ -1,0 +1,105 @@
+"""Experiment runner machinery."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    ConfigName,
+    PhaseMark,
+    RunResult,
+    SingleVmExperiment,
+    scaled_guest_config,
+    standard_configs,
+)
+from repro.units import mib_pages
+from repro.workloads.sysbench import SysbenchFileRead
+
+
+def test_standard_configs_order_and_names():
+    specs = standard_configs()
+    assert [s.name for s in specs] == [
+        ConfigName.BASELINE,
+        ConfigName.BALLOON_BASELINE,
+        ConfigName.MAPPER,
+        ConfigName.VSWAPPER,
+        ConfigName.BALLOON_VSWAPPER,
+    ]
+    by_name = {s.name: s for s in specs}
+    assert not by_name[ConfigName.BASELINE].vswapper.enable_mapper
+    assert by_name[ConfigName.MAPPER].vswapper.enable_mapper
+    assert not by_name[ConfigName.MAPPER].vswapper.enable_preventer
+    assert by_name[ConfigName.VSWAPPER].vswapper.enable_preventer
+    assert by_name[ConfigName.BALLOON_VSWAPPER].ballooned
+
+
+def test_standard_configs_filter():
+    specs = standard_configs([ConfigName.MAPPER])
+    assert len(specs) == 1
+    assert specs[0].name is ConfigName.MAPPER
+
+
+def test_scaled_guest_config_scales_everything():
+    full = scaled_guest_config(512, 1)
+    quarter = scaled_guest_config(512, 4)
+    assert quarter.memory_pages == full.memory_pages // 4
+    assert quarter.kernel_reserve_pages == full.kernel_reserve_pages // 4
+    assert quarter.guest_swap_pages == full.guest_swap_pages // 4
+
+
+def test_run_result_iteration_helpers():
+    result = RunResult(
+        ConfigName.BASELINE, 10.0, False, {},
+        phases=[
+            PhaseMark("iteration-start", {}, 1.0, {"disk_ops": 5}),
+            PhaseMark("iteration-end", {}, 3.0, {"disk_ops": 9}),
+            PhaseMark("iteration-start", {}, 3.0, {"disk_ops": 9}),
+            PhaseMark("iteration-end", {}, 6.0, {"disk_ops": 20}),
+        ])
+    assert result.iteration_durations() == [2.0, 3.0]
+    assert result.iteration_counter_deltas("disk_ops") == [4, 11]
+
+
+def test_run_result_unbalanced_marks_rejected():
+    result = RunResult(
+        ConfigName.BASELINE, 10.0, False, {},
+        phases=[PhaseMark("iteration-start", {}, 1.0)])
+    with pytest.raises(ExperimentError):
+        result.iteration_durations()
+
+
+def test_experiment_rejects_actual_above_guest():
+    with pytest.raises(ExperimentError):
+        SingleVmExperiment(guest_mib=100, actual_mib=200)
+
+
+def test_experiment_runs_all_configs_small():
+    experiment = SingleVmExperiment(
+        guest_mib=16, actual_mib=4,
+        guest_config=scaled_guest_config(512, 32),
+        files=[("sysbench.dat", mib_pages(6))],
+    )
+    workload_pages = mib_pages(6)
+    for spec in standard_configs():
+        result = experiment.run(spec, SysbenchFileRead(
+            file_pages=workload_pages, iterations=1,
+            min_resident_pages=0))
+        assert result.config is spec.name
+        assert not result.crashed
+        assert result.runtime > 0
+        assert result.counters["disk_ops"] > 0
+
+
+def test_timeline_sampling():
+    experiment = SingleVmExperiment(
+        guest_mib=16, actual_mib=8,
+        guest_config=scaled_guest_config(512, 32),
+        files=[("sysbench.dat", mib_pages(6))],
+        sample_interval=0.05,
+    )
+    spec = standard_configs([ConfigName.VSWAPPER])[0]
+    result = experiment.run(spec, SysbenchFileRead(
+        file_pages=mib_pages(6), iterations=2, min_resident_pages=0))
+    times, values = result.timeline.series("guest_page_cache")
+    assert len(times) > 3
+    assert max(values) > 0
+    assert "mapper_tracked" in result.timeline.series_names()

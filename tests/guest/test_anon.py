@@ -1,0 +1,82 @@
+"""Anonymous memory regions."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.guest.anon import GuestAnonMemory, PageLocation
+
+
+def test_commit_is_lazy():
+    anon = GuestAnonMemory()
+    region = anon.commit("heap", 10)
+    assert region.resident_pages() == 0
+    assert all(p.location is PageLocation.UNMATERIALIZED
+               for p in region.pages)
+
+
+def test_place_in_memory():
+    anon = GuestAnonMemory()
+    anon.commit("heap", 10)
+    anon.place_in_memory("heap", 3, gpa=42)
+    assert anon.owner_of(42) == ("heap", 3)
+    assert anon.is_anon_gpa(42)
+    assert anon.region("heap").resident_pages() == 1
+
+
+def test_double_place_rejected():
+    anon = GuestAnonMemory()
+    anon.commit("heap", 10)
+    anon.place_in_memory("heap", 3, 42)
+    with pytest.raises(GuestError):
+        anon.place_in_memory("heap", 3, 43)
+
+
+def test_move_to_swap():
+    anon = GuestAnonMemory()
+    anon.commit("heap", 10)
+    anon.place_in_memory("heap", 3, 42)
+    anon.move_to_swap(42, slot=7)
+    state = anon.region("heap").pages[3]
+    assert state.location is PageLocation.GUEST_SWAP
+    assert state.where == 7
+    assert not anon.is_anon_gpa(42)
+
+
+def test_owner_of_unknown_rejected():
+    with pytest.raises(GuestError):
+        GuestAnonMemory().owner_of(42)
+
+
+def test_release_region_returns_resources():
+    anon = GuestAnonMemory()
+    anon.commit("heap", 4)
+    anon.place_in_memory("heap", 0, 10)
+    anon.place_in_memory("heap", 1, 11)
+    anon.move_to_swap(11, slot=3)
+    gpas, slots = anon.release_region("heap")
+    assert gpas == [10]
+    assert slots == [3]
+    assert not anon.has_region("heap")
+    assert not anon.is_anon_gpa(10)
+
+
+def test_duplicate_region_rejected():
+    anon = GuestAnonMemory()
+    anon.commit("a", 1)
+    with pytest.raises(GuestError):
+        anon.commit("a", 1)
+
+
+def test_empty_region_rejected():
+    with pytest.raises(GuestError):
+        GuestAnonMemory().commit("empty", 0)
+
+
+def test_resident_pages_total():
+    anon = GuestAnonMemory()
+    anon.commit("a", 5)
+    anon.commit("b", 5)
+    anon.place_in_memory("a", 0, 1)
+    anon.place_in_memory("b", 0, 2)
+    assert anon.resident_pages() == 2
+    assert sorted(anon.region_names()) == ["a", "b"]

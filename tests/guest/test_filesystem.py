@@ -1,0 +1,90 @@
+"""Guest filesystem extents."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.guest.filesystem import GuestFilesystem
+
+
+def make_fs(image_blocks=10000, swap_pages=1000):
+    return GuestFilesystem(image_blocks, swap_pages)
+
+
+def test_files_are_contiguous_and_disjoint():
+    fs = make_fs()
+    a = fs.create_file("a", 100)
+    b = fs.create_file("b", 50)
+    assert b.start_block == a.start_block + 100
+    assert a.block_of(99) < b.block_of(0)
+
+
+def test_files_start_after_os_reserve():
+    fs = make_fs()
+    f = fs.create_file("a", 10)
+    assert f.start_block >= GuestFilesystem.OS_RESERVED_BLOCKS
+
+
+def test_swap_partition_at_image_tail():
+    fs = make_fs(image_blocks=10000, swap_pages=1000)
+    assert fs.swap_start_block == 9000
+
+
+def test_block_of_bounds():
+    fs = make_fs()
+    f = fs.create_file("a", 10)
+    with pytest.raises(GuestError):
+        f.block_of(10)
+    with pytest.raises(GuestError):
+        f.block_of(-1)
+
+
+def test_file_lookup():
+    fs = make_fs()
+    f = fs.create_file("a", 10)
+    assert fs.file("a") is f
+    assert fs.has_file("a")
+    assert not fs.has_file("b")
+
+
+def test_missing_file_rejected():
+    with pytest.raises(GuestError):
+        make_fs().file("ghost")
+
+
+def test_duplicate_file_rejected():
+    fs = make_fs()
+    fs.create_file("a", 10)
+    with pytest.raises(GuestError):
+        fs.create_file("a", 10)
+
+
+def test_ensure_file_idempotent():
+    fs = make_fs()
+    first = fs.ensure_file("a", 10)
+    second = fs.ensure_file("a", 10)
+    assert first is second
+
+
+def test_ensure_file_too_small_rejected():
+    fs = make_fs()
+    fs.ensure_file("a", 10)
+    with pytest.raises(GuestError):
+        fs.ensure_file("a", 20)
+
+
+def test_filesystem_full_rejected():
+    fs = make_fs(image_blocks=4000, swap_pages=1000)
+    with pytest.raises(GuestError):
+        fs.create_file("huge", 4000)
+
+
+def test_files_never_overlap_swap():
+    fs = make_fs(image_blocks=4000, swap_pages=1000)
+    usable = fs.swap_start_block - GuestFilesystem.OS_RESERVED_BLOCKS
+    f = fs.create_file("big", usable)
+    assert f.block_of(usable - 1) < fs.swap_start_block
+
+
+def test_image_too_small_rejected():
+    with pytest.raises(GuestError):
+        GuestFilesystem(1000, 1000)

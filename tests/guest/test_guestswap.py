@@ -1,0 +1,53 @@
+"""Guest swap device slots."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.guest.guestswap import GuestSwapDevice
+
+
+def test_allocate_lowest_first():
+    dev = GuestSwapDevice(start_block=9000, size_pages=10)
+    assert dev.allocate() == 0
+    assert dev.allocate() == 1
+
+
+def test_block_of_maps_into_partition():
+    dev = GuestSwapDevice(start_block=9000, size_pages=10)
+    assert dev.block_of(3) == 9003
+
+
+def test_block_of_bounds():
+    dev = GuestSwapDevice(9000, 10)
+    with pytest.raises(GuestError):
+        dev.block_of(10)
+
+
+def test_free_and_reuse():
+    dev = GuestSwapDevice(9000, 10)
+    slot = dev.allocate()
+    dev.free(slot)
+    assert dev.allocate() == slot
+
+
+def test_double_free_rejected():
+    dev = GuestSwapDevice(9000, 10)
+    slot = dev.allocate()
+    dev.free(slot)
+    with pytest.raises(GuestError):
+        dev.free(slot)
+
+
+def test_exhaustion():
+    dev = GuestSwapDevice(9000, 2)
+    dev.allocate()
+    dev.allocate()
+    with pytest.raises(GuestError):
+        dev.allocate()
+
+
+def test_counts():
+    dev = GuestSwapDevice(9000, 10)
+    dev.allocate()
+    assert dev.used_slots == 1
+    assert dev.free_slots == 9

@@ -1,0 +1,77 @@
+"""Guest page cache bookkeeping."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.guest.pagecache import GuestPageCache
+
+
+def test_insert_and_lookup():
+    cache = GuestPageCache()
+    cache.insert(100, 5, dirty=False)
+    assert cache.lookup(100) == 5
+    assert cache.lookup(101) is None
+    assert cache.describe(5).block == 100
+
+
+def test_counts():
+    cache = GuestPageCache()
+    cache.insert(1, 10, dirty=False)
+    cache.insert(2, 11, dirty=True)
+    assert cache.cached_pages == 2
+    assert cache.dirty_pages == 1
+    assert cache.clean_pages == 1
+
+
+def test_duplicate_block_rejected():
+    cache = GuestPageCache()
+    cache.insert(1, 10, dirty=False)
+    with pytest.raises(GuestError):
+        cache.insert(1, 11, dirty=False)
+
+
+def test_duplicate_gpa_rejected():
+    cache = GuestPageCache()
+    cache.insert(1, 10, dirty=False)
+    with pytest.raises(GuestError):
+        cache.insert(2, 10, dirty=False)
+
+
+def test_dirty_transitions():
+    cache = GuestPageCache()
+    cache.insert(1, 10, dirty=False)
+    cache.mark_dirty(10)
+    assert cache.describe(10).dirty
+    assert 10 in cache.dirty_gpas_snapshot()
+    cache.mark_clean(10)
+    assert not cache.describe(10).dirty
+    assert 10 in cache.clean_gpas_snapshot()
+
+
+def test_remove():
+    cache = GuestPageCache()
+    cache.insert(1, 10, dirty=True)
+    page = cache.remove(10)
+    assert page.block == 1
+    assert cache.lookup(1) is None
+    assert cache.dirty_pages == 0
+
+
+def test_remove_missing_rejected():
+    with pytest.raises(GuestError):
+        GuestPageCache().remove(10)
+
+
+def test_mark_missing_rejected():
+    with pytest.raises(GuestError):
+        GuestPageCache().mark_dirty(10)
+
+
+def test_snapshots_disjoint_and_complete():
+    cache = GuestPageCache()
+    for i in range(10):
+        cache.insert(i, 100 + i, dirty=(i % 2 == 0))
+    dirty = set(cache.dirty_gpas_snapshot())
+    clean = set(cache.clean_gpas_snapshot())
+    assert not dirty & clean
+    assert len(dirty | clean) == 10

@@ -1,0 +1,70 @@
+"""EPT mapping semantics."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem.ept import Ept
+
+
+def test_map_and_presence():
+    ept = Ept()
+    ept.map_page(0x1000)
+    assert ept.is_present(0x1000)
+    assert 0x1000 in ept
+    assert ept.resident_pages == 1
+
+
+def test_double_map_rejected():
+    ept = Ept()
+    ept.map_page(1)
+    with pytest.raises(MemoryError_):
+        ept.map_page(1)
+
+
+def test_unmap_returns_final_state():
+    ept = Ept()
+    ept.map_page(1, accessed=False, dirty=True)
+    entry = ept.unmap_page(1)
+    assert entry.dirty
+    assert not entry.accessed
+    assert not ept.is_present(1)
+
+
+def test_unmap_missing_rejected():
+    with pytest.raises(MemoryError_):
+        Ept().unmap_page(7)
+
+
+def test_entry_missing_rejected():
+    with pytest.raises(MemoryError_):
+        Ept().entry(7)
+
+
+def test_mark_accessed_sets_bits():
+    ept = Ept()
+    ept.map_page(1, accessed=False)
+    ept.mark_accessed(1, write=True)
+    entry = ept.entry(1)
+    assert entry.accessed
+    assert entry.dirty
+
+
+def test_mark_accessed_read_does_not_dirty():
+    ept = Ept()
+    ept.map_page(1, accessed=False, dirty=False)
+    ept.mark_accessed(1, write=False)
+    assert not ept.entry(1).dirty
+
+
+def test_test_and_clear_accessed():
+    ept = Ept()
+    ept.map_page(1, accessed=True)
+    assert ept.test_and_clear_accessed(1)
+    assert not ept.test_and_clear_accessed(1)
+
+
+def test_present_gpas():
+    ept = Ept()
+    ept.map_page(3)
+    ept.map_page(1)
+    assert sorted(ept.present_gpas()) == [1, 3]

@@ -1,0 +1,74 @@
+"""Frame pool conservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.mem.frames import FramePool
+
+
+def test_initial_state():
+    pool = FramePool(100)
+    assert pool.free == 100
+    assert pool.used == 0
+
+
+def test_allocate_and_release():
+    pool = FramePool(10)
+    pool.allocate(4)
+    assert pool.used == 4
+    pool.release(2)
+    assert pool.used == 2
+    assert pool.free == 8
+
+
+def test_cannot_overallocate():
+    pool = FramePool(5)
+    pool.allocate(5)
+    with pytest.raises(MemoryError_):
+        pool.allocate(1)
+
+
+def test_cannot_release_more_than_used():
+    pool = FramePool(5)
+    pool.allocate(2)
+    with pytest.raises(MemoryError_):
+        pool.release(3)
+
+
+def test_negative_amounts_rejected():
+    pool = FramePool(5)
+    with pytest.raises(MemoryError_):
+        pool.allocate(-1)
+    with pytest.raises(MemoryError_):
+        pool.release(-1)
+
+
+def test_zero_size_pool_rejected():
+    with pytest.raises(MemoryError_):
+        FramePool(0)
+
+
+def test_can_allocate():
+    pool = FramePool(5)
+    assert pool.can_allocate(5)
+    pool.allocate(3)
+    assert pool.can_allocate(2)
+    assert not pool.can_allocate(3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=-20, max_value=20), max_size=60))
+def test_property_conservation(deltas):
+    pool = FramePool(100)
+    used = 0
+    for delta in deltas:
+        if delta >= 0 and used + delta <= 100:
+            pool.allocate(delta)
+            used += delta
+        elif delta < 0 and used >= -delta:
+            pool.release(-delta)
+            used += delta
+        assert pool.used == used
+        assert pool.used + pool.free == 100

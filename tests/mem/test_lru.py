@@ -1,0 +1,90 @@
+"""Clock list semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.lru import ClockList
+
+
+def test_add_and_contains():
+    clock = ClockList()
+    clock.add("a")
+    assert "a" in clock
+    assert len(clock) == 1
+
+
+def test_re_add_refreshes_position():
+    clock = ClockList()
+    clock.add("a")
+    clock.add("b")
+    clock.add("a")  # now 'b' is coldest
+    assert clock.peek_head() == "b"
+
+
+def test_add_front_is_first_victim():
+    clock = ClockList()
+    clock.add("warm")
+    clock.add_front("cold")
+    assert clock.peek_head() == "cold"
+
+
+def test_remove_missing_is_noop():
+    clock = ClockList()
+    clock.remove("ghost")
+    assert len(clock) == 0
+
+
+def test_scan_evicts_unreferenced_in_order():
+    clock = ClockList()
+    for key in "abcd":
+        clock.add(key)
+    victims, examined = clock.scan(2, lambda key: False)
+    assert victims == ["a", "b"]
+    assert examined == 2
+    assert "a" not in clock
+
+
+def test_scan_gives_second_chance():
+    clock = ClockList()
+    for key in "abc":
+        clock.add(key)
+    referenced = {"a"}
+    victims, examined = clock.scan(
+        1, lambda key: key in referenced and not referenced.discard(key))
+    # 'a' was referenced: rotated to tail; 'b' evicted.
+    assert victims == ["b"]
+    assert examined == 2
+    assert clock.keys_in_order() == ["c", "a"]
+
+
+def test_scan_gives_up_after_max_examined():
+    clock = ClockList()
+    for key in "abc":
+        clock.add(key)
+    victims, examined = clock.scan(1, lambda key: True, max_examined=3)
+    assert victims == []
+    assert examined == 3
+    assert len(clock) == 3
+
+
+def test_scan_empty_list():
+    victims, examined = ClockList().scan(5, lambda key: False)
+    assert victims == []
+    assert examined == 0
+
+
+def test_peek_head_empty():
+    assert ClockList().peek_head() is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=20),
+                min_size=1, max_size=50))
+def test_property_scan_preserves_membership_invariant(keys):
+    clock = ClockList()
+    for key in keys:
+        clock.add(key)
+    unique = list(dict.fromkeys(keys))
+    victims, _ = clock.scan(3, lambda key: key % 2 == 0)
+    # victims + remaining == original membership, no duplication
+    assert sorted(victims + clock.keys_in_order()) == sorted(unique)

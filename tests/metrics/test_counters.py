@@ -1,0 +1,60 @@
+"""Counter snapshots, deltas, and ad-hoc bumps."""
+
+from repro.metrics.counters import Counters
+
+
+def test_defaults_zero():
+    counters = Counters()
+    assert counters.stale_reads == 0
+    assert counters.disk_ops == 0
+
+
+def test_snapshot_contains_all_fields():
+    counters = Counters()
+    snap = counters.snapshot()
+    assert "stale_reads" in snap
+    assert "swap_sectors_written" in snap
+    assert "extra" not in snap
+
+
+def test_delta_since():
+    counters = Counters()
+    snap = counters.snapshot()
+    counters.stale_reads += 5
+    counters.disk_ops += 2
+    delta = counters.delta_since(snap)
+    assert delta["stale_reads"] == 5
+    assert delta["disk_ops"] == 2
+    assert delta["false_reads"] == 0
+
+
+def test_bump_known_field():
+    counters = Counters()
+    counters.bump("false_reads")
+    counters.bump("false_reads", 3)
+    assert counters.false_reads == 4
+
+
+def test_bump_adhoc_goes_to_extra():
+    counters = Counters()
+    counters.bump("swap_cache_hits", 2)
+    assert counters.extra["swap_cache_hits"] == 2
+    assert counters.snapshot()["swap_cache_hits"] == 2
+
+
+def test_delta_tracks_adhoc_counters():
+    counters = Counters()
+    snap = counters.snapshot()
+    counters.bump("weird_metric", 7)
+    assert counters.delta_since(snap)["weird_metric"] == 7
+
+
+def test_merged_with():
+    a = Counters()
+    b = Counters()
+    a.stale_reads = 2
+    b.stale_reads = 3
+    b.bump("only_in_b", 1)
+    merged = a.merged_with(b)
+    assert merged["stale_reads"] == 5
+    assert merged["only_in_b"] == 1

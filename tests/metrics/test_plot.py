@@ -1,0 +1,72 @@
+"""ASCII chart rendering."""
+
+from repro.metrics.plot import ascii_bars, ascii_chart
+
+
+def test_chart_contains_title_and_legend():
+    text = ascii_chart({"a": [1, 2, 3], "b": [3, 2, 1]},
+                       title="My Chart", y_label="seconds")
+    assert "My Chart" in text
+    assert "* a" in text
+    assert "o b" in text
+    assert "(y: seconds)" in text
+
+
+def test_chart_bounds_rendered():
+    text = ascii_chart({"a": [0.0, 10.0]})
+    assert "10.00" in text
+    assert "0.00" in text
+
+
+def test_chart_empty_series():
+    assert "(no data)" in ascii_chart({}, title="t")
+    assert "(no data)" in ascii_chart({"a": []}, title="t")
+
+
+def test_chart_constant_series_does_not_crash():
+    text = ascii_chart({"flat": [5, 5, 5]})
+    assert "flat" in text
+
+
+def test_chart_single_point():
+    text = ascii_chart({"one": [7.0]})
+    assert "7.00" in text
+
+
+def test_chart_mixed_lengths():
+    text = ascii_chart({"long": list(range(10)), "short": [1, 2]})
+    assert "long" in text and "short" in text
+
+
+def test_bars_basic():
+    text = ascii_bars({"a": 1.0, "bb": 4.0}, title="Bars", unit="s")
+    assert "Bars" in text
+    lines = text.splitlines()
+    bar_a = next(l for l in lines if l.startswith("a "))
+    bar_b = next(l for l in lines if l.startswith("bb"))
+    assert bar_b.count("#") > bar_a.count("#")
+    assert "4.00s" in bar_b
+
+
+def test_bars_crashed_entry():
+    text = ascii_bars({"ok": 2.0, "dead": None})
+    assert "(crashed)" in text
+
+
+def test_bars_all_crashed():
+    text = ascii_bars({"dead": None}, title="t")
+    assert "(crashed)" in text
+
+
+def test_chart_for_known_figures():
+    from repro.experiments.plots import chart_for
+    from repro.experiments.runner import FigureResult
+    fig3 = FigureResult("fig03", {"baseline": 10.0, "vswapper": 2.0}, "")
+    assert "#" in chart_for(fig3)
+    fig9 = FigureResult(
+        "fig09",
+        {"baseline": {"runtime": [3, 2, 4]},
+         "vswapper": {"runtime": [1, 1, 1]}}, "")
+    assert "baseline" in chart_for(fig9)
+    unknown = FigureResult("table1", {}, "")
+    assert chart_for(unknown) is None

@@ -1,0 +1,39 @@
+"""Plain-text table rendering."""
+
+import pytest
+
+from repro.metrics.report import Table, format_table
+
+
+def test_render_contains_title_header_and_cells():
+    table = Table("My Title", ["col1", "col2"])
+    table.add_row("a", 1)
+    table.add_row("bb", 2.5)
+    text = table.render()
+    assert "My Title" in text
+    assert "col1" in text
+    assert "bb" in text
+    assert "2.50" in text  # floats rendered with 2 decimals
+
+
+def test_columns_align():
+    table = Table("t", ["name", "value"])
+    table.add_row("short", 1)
+    table.add_row("much-longer-name", 2)
+    lines = table.render().splitlines()
+    data_lines = [l for l in lines if "short" in l or "much-longer" in l]
+    value_positions = {l.rstrip()[-1] for l in data_lines}
+    assert value_positions == {"1", "2"}
+    # Header width accommodates the longest cell.
+    assert len(set(len(l) for l in data_lines)) >= 1
+
+
+def test_row_arity_checked():
+    table = Table("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_format_table_direct():
+    text = format_table("title", ["x"], [[1], [2]])
+    assert text.count("\n") >= 4

@@ -1,0 +1,39 @@
+"""Timeline gauges and series extraction."""
+
+from repro.metrics.timeline import Timeline
+
+
+def test_record_and_series():
+    timeline = Timeline()
+    timeline.record(1.0, "cache", 10)
+    timeline.record(2.0, "cache", 20)
+    timeline.record(1.5, "other", 5)
+    times, values = timeline.series("cache")
+    assert times == [1.0, 2.0]
+    assert values == [10, 20]
+
+
+def test_registered_gauges_sampled():
+    timeline = Timeline()
+    state = {"v": 1}
+    timeline.register("gauge", lambda: state["v"])
+    timeline.sample_all(0.0)
+    state["v"] = 5
+    timeline.sample_all(1.0)
+    times, values = timeline.series("gauge")
+    assert times == [0.0, 1.0]
+    assert values == [1.0, 5.0]
+
+
+def test_series_names_in_first_appearance_order():
+    timeline = Timeline()
+    timeline.record(0.0, "b", 1)
+    timeline.record(0.0, "a", 1)
+    timeline.record(1.0, "b", 2)
+    assert timeline.series_names() == ["b", "a"]
+
+
+def test_missing_series_is_empty():
+    times, values = Timeline().series("nope")
+    assert times == []
+    assert values == []

@@ -1,0 +1,49 @@
+"""Virtual clock invariants."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+
+
+def test_starts_at_zero():
+    assert Clock().now == 0.0
+
+
+def test_custom_start():
+    assert Clock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        Clock(-1.0)
+
+
+def test_advance_to():
+    clock = Clock()
+    clock.advance_to(3.5)
+    assert clock.now == 3.5
+
+
+def test_advance_to_same_time_is_fine():
+    clock = Clock(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_backwards_rejected():
+    clock = Clock(2.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(1.0)
+
+
+def test_advance_by():
+    clock = Clock(1.0)
+    clock.advance_by(0.5)
+    assert clock.now == 1.5
+
+
+def test_advance_by_negative_rejected():
+    clock = Clock()
+    with pytest.raises(SimulationError):
+        clock.advance_by(-0.1)

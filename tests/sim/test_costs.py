@@ -1,0 +1,78 @@
+"""Cost accumulator: incremental disk-stall accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.costs import CostAccumulator
+
+
+def test_cpu_accumulates():
+    costs = CostAccumulator()
+    costs.cpu(1.0)
+    costs.cpu(0.5)
+    assert costs.cpu_seconds == 1.5
+
+
+def test_io_single_stall():
+    costs = CostAccumulator()
+    costs.io(2.0)
+    assert costs.io_seconds == 2.0
+
+
+def test_io_growing_stalls_charge_increments():
+    # Two serialized requests of one op: stalls measured from the
+    # frozen op start.  Total disk time is the max, not the sum.
+    costs = CostAccumulator()
+    costs.io(1.0)
+    costs.io(3.0)
+    assert costs.io_seconds == 3.0
+
+
+def test_io_shrinking_stall_charges_nothing():
+    costs = CostAccumulator()
+    costs.io(3.0)
+    costs.io(1.0)
+    assert costs.io_seconds == 3.0
+
+
+def test_fault_and_io_share_the_disk_mark():
+    costs = CostAccumulator()
+    costs.fault(2.0)   # swap-in read completes at +2.0
+    costs.io(3.0)      # explicit read queued behind it, completes at +3.0
+    assert costs.fault_seconds == 2.0
+    assert costs.io_seconds == 1.0
+    assert costs.total() == 3.0
+
+
+def test_duration_applies_overlap_to_faults_only():
+    costs = CostAccumulator()
+    costs.cpu(1.0)
+    costs.io(1.0)
+    costs.fault(3.0)   # 2.0 incremental fault stall
+    assert costs.duration(1.0) == pytest.approx(4.0)
+    assert costs.duration(0.5) == pytest.approx(3.0)
+
+
+def test_duration_rejects_bad_overlap():
+    costs = CostAccumulator()
+    with pytest.raises(SimulationError):
+        costs.duration(1.5)
+
+
+def test_negative_cost_rejected():
+    costs = CostAccumulator()
+    with pytest.raises(SimulationError):
+        costs.cpu(-1.0)
+    with pytest.raises(SimulationError):
+        costs.io(-0.1)
+
+
+def test_reset_clears_everything():
+    costs = CostAccumulator()
+    costs.cpu(1.0)
+    costs.io(2.0)
+    costs.reset()
+    assert costs.total() == 0.0
+    # The disk mark must reset too: a fresh op starts a fresh queue view.
+    costs.io(1.0)
+    assert costs.io_seconds == 1.0

@@ -1,0 +1,125 @@
+"""Event-loop ordering, processes, and periodic tasks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(2.0, lambda: order.append("b"))
+    engine.schedule(1.0, lambda: order.append("a"))
+    engine.schedule(3.0, lambda: order.append("c"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_run_in_schedule_order():
+    engine = Engine()
+    order = []
+    engine.schedule(1.0, lambda: order.append(1))
+    engine.schedule(1.0, lambda: order.append(2))
+    engine.run()
+    assert order == [1, 2]
+
+
+def test_clock_tracks_event_times():
+    engine = Engine()
+    seen = []
+    engine.schedule(2.5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [2.5]
+    assert engine.now == 2.5
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(4.0, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [4.0]
+
+
+def test_schedule_at_past_rejected():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_stops_early():
+    engine = Engine()
+    seen = []
+    engine.schedule(1.0, lambda: seen.append("early"))
+    engine.schedule(10.0, lambda: seen.append("late"))
+    engine.run(until=5.0)
+    assert seen == ["early"]
+    assert engine.now == 5.0
+    assert engine.pending_events() == 1
+
+
+def test_run_resumes_after_until():
+    engine = Engine()
+    seen = []
+    engine.schedule(10.0, lambda: seen.append("late"))
+    engine.run(until=5.0)
+    engine.run()
+    assert seen == ["late"]
+
+
+def test_process_steps_until_none():
+    engine = Engine()
+    steps = []
+
+    def step():
+        steps.append(engine.now)
+        return 1.0 if len(steps) < 3 else None
+
+    engine.add_process(step)
+    engine.run()
+    assert steps == [0.0, 1.0, 2.0]
+
+
+def test_process_negative_duration_rejected():
+    engine = Engine()
+    engine.add_process(lambda: -1.0)
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_periodic_fires_until_stopped():
+    engine = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(engine.now)
+        if len(ticks) == 3:
+            engine.stop()
+
+    engine.add_periodic(2.0, tick)
+    engine.run()
+    assert ticks == [2.0, 4.0, 6.0]
+
+
+def test_periodic_rejects_non_positive_interval():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.add_periodic(0.0, lambda: None)
+
+
+def test_events_scheduled_from_callbacks_run():
+    engine = Engine()
+    seen = []
+    engine.schedule(1.0, lambda: engine.schedule(
+        1.0, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [2.0]

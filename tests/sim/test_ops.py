@@ -1,0 +1,54 @@
+"""Operation vocabulary sanity."""
+
+from repro.sim.ops import (
+    Alloc,
+    Compute,
+    DropCaches,
+    FileRead,
+    FileWrite,
+    Free,
+    MarkPhase,
+    Overwrite,
+    Touch,
+    WritePattern,
+)
+
+
+def test_ops_are_frozen():
+    op = Compute(1.0)
+    try:
+        op.seconds = 2.0
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised
+
+
+def test_defaults():
+    read = FileRead("f", 0, 10)
+    assert read.touch_cost == 0.0
+    touch = Touch("r", 0, 5)
+    assert not touch.write
+    assert touch.stride == 1
+    over = Overwrite("r", 0, 5)
+    assert over.pattern is WritePattern.FULL_SEQUENTIAL
+
+
+def test_markphase_payload_default_is_isolated():
+    a = MarkPhase("x")
+    b = MarkPhase("y")
+    a.payload["k"] = 1
+    assert b.payload == {}
+
+
+def test_write_patterns_enumerated():
+    assert {p.value for p in WritePattern} == {
+        "full_sequential", "partial", "scattered"}
+
+
+def test_ops_equality():
+    assert FileRead("f", 0, 10) == FileRead("f", 0, 10)
+    assert Alloc("a", 5) != Alloc("a", 6)
+    assert Free("a") == Free("a")
+    assert FileWrite("f", 0, 1) != FileRead("f", 0, 1)
+    assert DropCaches() == DropCaches()

@@ -1,0 +1,68 @@
+"""Deterministic RNG behaviour."""
+
+from repro.sim.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(42)
+    b = DeterministicRng(42)
+    assert [a.randint(0, 100) for _ in range(20)] == \
+           [b.randint(0, 100) for _ in range(20)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.randint(0, 10**9) for _ in range(5)] != \
+           [b.randint(0, 10**9) for _ in range(5)]
+
+
+def test_fork_is_deterministic():
+    a = DeterministicRng(7).fork("guest")
+    b = DeterministicRng(7).fork("guest")
+    assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+
+def test_fork_labels_independent():
+    a = DeterministicRng(7).fork("guest")
+    b = DeterministicRng(7).fork("host")
+    assert [a.randint(0, 10**9) for _ in range(5)] != \
+           [b.randint(0, 10**9) for _ in range(5)]
+
+
+def test_fork_does_not_disturb_parent():
+    parent = DeterministicRng(7)
+    first = parent.randint(0, 10**9)
+    parent2 = DeterministicRng(7)
+    parent2.fork("child")
+    assert parent2.randint(0, 10**9) == first
+
+
+def test_uniform_range():
+    rng = DeterministicRng(3)
+    for _ in range(100):
+        value = rng.uniform(2.0, 5.0)
+        assert 2.0 <= value < 5.0
+
+
+def test_chance_extremes():
+    rng = DeterministicRng(3)
+    assert not any(rng.chance(0.0) for _ in range(50))
+    assert all(rng.chance(1.0) for _ in range(50))
+
+
+def test_choice_and_sample():
+    rng = DeterministicRng(3)
+    items = list(range(10))
+    assert rng.choice(items) in items
+    sample = rng.sample(items, 4)
+    assert len(sample) == 4
+    assert len(set(sample)) == 4
+
+
+def test_shuffle_preserves_elements():
+    rng = DeterministicRng(3)
+    items = list(range(20))
+    shuffled = items[:]
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items

@@ -1,0 +1,18 @@
+"""CLI chart integration on a fast figure."""
+
+from repro.cli import main
+
+
+def test_cli_run_fig3_shows_bars(capsys):
+    assert main(["run", "fig3", "--scale", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "#" in out            # the ASCII bar chart
+    assert "regenerated" in out
+
+
+def test_cli_run_fig15_table_only_is_fine(capsys):
+    assert main(["run", "fig15", "--scale", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 15" in out
+    assert "mapper tracked" in out

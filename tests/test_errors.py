@@ -1,0 +1,38 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in ("ConfigError", "SimulationError", "DiskError",
+                 "MemoryError_", "GuestError", "GuestOomKill",
+                 "HostError", "ConsistencyError", "ExperimentError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_oom_kill_is_a_guest_error():
+    assert issubclass(errors.GuestOomKill, errors.GuestError)
+
+
+def test_oom_kill_carries_pid():
+    exc = errors.GuestOomKill("killed", pid=42)
+    assert exc.pid == 42
+    assert errors.GuestOomKill("killed").pid is None
+
+
+def test_memory_error_does_not_shadow_builtin():
+    assert errors.MemoryError_ is not MemoryError
+    with pytest.raises(errors.ReproError):
+        raise errors.MemoryError_("boom")
+
+
+def test_single_except_catches_library_failures():
+    for cls in (errors.DiskError, errors.HostError,
+                errors.ConsistencyError):
+        try:
+            raise cls("x")
+        except errors.ReproError:
+            pass

@@ -1,0 +1,60 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_page_size_is_4k():
+    assert units.PAGE_SIZE == 4096
+
+
+def test_sectors_per_page():
+    assert units.SECTORS_PER_PAGE == 8
+
+
+def test_pages_from_bytes_rounds_up():
+    assert units.pages_from_bytes(1) == 1
+    assert units.pages_from_bytes(4096) == 1
+    assert units.pages_from_bytes(4097) == 2
+
+
+def test_pages_from_bytes_zero():
+    assert units.pages_from_bytes(0) == 0
+
+
+def test_pages_from_bytes_rejects_negative():
+    with pytest.raises(ValueError):
+        units.pages_from_bytes(-1)
+
+
+def test_bytes_from_pages():
+    assert units.bytes_from_pages(3) == 3 * 4096
+
+
+def test_bytes_from_pages_rejects_negative():
+    with pytest.raises(ValueError):
+        units.bytes_from_pages(-2)
+
+
+def test_sectors_from_pages():
+    assert units.sectors_from_pages(2) == 16
+
+
+def test_sectors_from_pages_rejects_negative():
+    with pytest.raises(ValueError):
+        units.sectors_from_pages(-1)
+
+
+def test_mib():
+    assert units.mib(1) == 1024 * 1024
+
+
+def test_mib_pages():
+    assert units.mib_pages(1) == 256
+    assert units.mib_pages(0.5) == 128
+
+
+def test_roundtrip_pages_bytes():
+    for n in (0, 1, 7, 256, 100000):
+        assert units.pages_from_bytes(units.bytes_from_pages(n)) == n

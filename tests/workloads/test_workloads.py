@@ -1,0 +1,236 @@
+"""Workload generators: well-formed operation streams."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.ops import (
+    Alloc,
+    Compute,
+    FileRead,
+    FileWrite,
+    Free,
+    MarkPhase,
+    Overwrite,
+    Touch,
+)
+from repro.units import mib_pages
+from repro.workloads import (
+    AllocTouch,
+    BzipCompress,
+    EclipseWorkload,
+    Kernbench,
+    MetisMapReduce,
+    PbzipCompress,
+    SysbenchFileRead,
+    SysbenchThenAlloc,
+    page_chunks,
+)
+
+
+def collect(workload):
+    return list(workload.operations())
+
+
+def total_read_pages(ops, file_id):
+    return sum(op.npages for op in ops
+               if isinstance(op, FileRead) and op.file_id == file_id)
+
+
+def total_written_pages(ops, file_id):
+    return sum(op.npages for op in ops
+               if isinstance(op, FileWrite) and op.file_id == file_id)
+
+
+# -- helpers -------------------------------------------------------------
+
+def test_page_chunks_covers_exactly():
+    chunks = list(page_chunks(1000, 256))
+    assert sum(n for _off, n in chunks) == 1000
+    assert chunks[0] == (0, 256)
+    assert chunks[-1] == (768, 232)
+
+
+def test_page_chunks_zero():
+    assert list(page_chunks(0)) == []
+
+
+def test_page_chunks_rejects_bad_args():
+    with pytest.raises(ConfigError):
+        list(page_chunks(-1))
+    with pytest.raises(ConfigError):
+        list(page_chunks(10, 0))
+
+
+# -- sysbench -------------------------------------------------------------
+
+def test_sysbench_reads_whole_file_each_iteration():
+    workload = SysbenchFileRead(file_pages=1000, iterations=3)
+    ops = collect(workload)
+    assert total_read_pages(ops, workload.file_id) == 3000
+
+
+def test_sysbench_prepare_writes_file_once():
+    workload = SysbenchFileRead(file_pages=1000, iterations=1)
+    ops = collect(workload)
+    assert total_written_pages(ops, workload.file_id) == 1000
+
+
+def test_sysbench_iteration_marks_balanced():
+    workload = SysbenchFileRead(file_pages=100, iterations=4)
+    ops = collect(workload)
+    starts = [op for op in ops if isinstance(op, MarkPhase)
+              and op.name == "iteration-start"]
+    ends = [op for op in ops if isinstance(op, MarkPhase)
+            and op.name == "iteration-end"]
+    assert len(starts) == len(ends) == 4
+    assert [op.payload["iteration"] for op in starts] == [1, 2, 3, 4]
+
+
+def test_sysbench_no_prepare():
+    ops = collect(SysbenchFileRead(file_pages=100, prepare=False))
+    assert total_written_pages(ops, "sysbench.dat") == 0
+
+
+# -- alloc/touch -----------------------------------------------------------
+
+def test_alloctouch_touches_whole_allocation():
+    workload = AllocTouch(alloc_pages=500)
+    ops = collect(workload)
+    allocs = [op for op in ops if isinstance(op, Alloc)]
+    assert allocs[0].npages == 500
+    touched = sum(op.npages for op in ops
+                  if isinstance(op, Touch) and op.region == workload.region)
+    assert touched == 500
+    assert all(op.write for op in ops if isinstance(op, Touch))
+
+
+def test_alloctouch_declares_min_resident():
+    workload = AllocTouch(alloc_pages=500)
+    assert workload.min_resident_pages > 500
+    marks = [op for op in collect(workload) if isinstance(op, MarkPhase)]
+    assert any("min_resident_pages" in op.payload for op in marks)
+
+
+def test_sysbench_then_alloc_sequences_phases():
+    workload = SysbenchThenAlloc(file_pages=100, alloc_pages=100)
+    names = [op.name for op in collect(workload)
+             if isinstance(op, MarkPhase)]
+    assert names.index("iteration-end") < names.index("fork-allocator")
+    assert names.index("fork-allocator") < names.index("alloc-start")
+
+
+# -- pbzip -------------------------------------------------------------
+
+def test_pbzip_consumes_whole_input():
+    workload = PbzipCompress(input_pages=2000)
+    ops = collect(workload)
+    assert total_read_pages(ops, workload.input_file) == 2000
+
+
+def test_pbzip_output_ratio():
+    workload = PbzipCompress(input_pages=2000, output_ratio=0.25)
+    ops = collect(workload)
+    assert total_written_pages(ops, workload.output_file) == 500
+
+
+def test_pbzip_buffers_reused_with_overwrites():
+    workload = PbzipCompress(input_pages=2000, threads=4)
+    ops = collect(workload)
+    overwrites = [op for op in ops if isinstance(op, Overwrite)]
+    regions = {op.region for op in overwrites}
+    assert len(regions) == 4
+    assert len(overwrites) == len([
+        op for op in ops
+        if isinstance(op, FileRead) and op.file_id == workload.input_file])
+
+
+def test_pbzip_compute_scales_with_input():
+    small = sum(op.seconds for op in collect(PbzipCompress(input_pages=500))
+                if isinstance(op, Compute))
+    large = sum(op.seconds for op in collect(PbzipCompress(input_pages=1000))
+                if isinstance(op, Compute))
+    assert large == pytest.approx(2 * small, rel=0.05)
+
+
+def test_bzip_is_single_threaded():
+    assert BzipCompress(input_pages=100).threads == 1
+
+
+# -- kernbench -------------------------------------------------------------
+
+def test_kernbench_unit_lifecycle():
+    workload = Kernbench(compile_units=5, unit_working_set_pages=64,
+                         source_pages=1000)
+    ops = collect(workload)
+    allocs = [op for op in ops if isinstance(op, Alloc)]
+    frees = [op for op in ops if isinstance(op, Free)]
+    assert len(allocs) == len(frees) == 5
+    assert {a.region for a in allocs} == {f.region for f in frees}
+
+
+def test_kernbench_object_writes_advance():
+    workload = Kernbench(compile_units=3, object_write_pages=10,
+                         source_pages=1000)
+    ops = collect(workload)
+    writes = [op for op in ops if isinstance(op, FileWrite)]
+    offsets = [op.offset_pages for op in writes]
+    assert offsets == [0, 10, 20]
+    assert workload.object_file_pages() == 30
+
+
+def test_kernbench_deterministic_per_seed():
+    a = [op for op in collect(Kernbench(compile_units=5, seed=1))
+         if isinstance(op, FileRead)]
+    b = [op for op in collect(Kernbench(compile_units=5, seed=1))
+         if isinstance(op, FileRead)]
+    assert [op.offset_pages for op in a] == [op.offset_pages for op in b]
+
+
+# -- eclipse -------------------------------------------------------------
+
+def test_eclipse_gc_sweeps_touch_whole_heap():
+    workload = EclipseWorkload(
+        heap_pages=512, jvm_resident_pages=256, workspace_pages=256,
+        work_units=6, gc_every_units=3)
+    ops = collect(workload)
+    gc_marks = [op for op in ops if isinstance(op, MarkPhase)
+                and op.name == "gc"]
+    assert len(gc_marks) == 2
+
+
+def test_eclipse_touches_stay_in_bounds():
+    workload = EclipseWorkload(
+        heap_pages=128, jvm_resident_pages=128, workspace_pages=128,
+        work_units=8)
+    for op in collect(workload):
+        if isinstance(op, Touch):
+            bound = {"heap": 128, "jvm": 128}[op.region]
+            assert op.start + op.npages <= bound
+        if isinstance(op, FileRead):
+            assert op.offset_pages + op.npages <= 128
+
+
+# -- mapreduce -------------------------------------------------------------
+
+def test_mapreduce_builds_whole_table():
+    workload = MetisMapReduce(
+        input_pages=512, table_pages=1024, output_pages=16)
+    ops = collect(workload)
+    growth = sum(
+        op.npages for op in ops
+        if isinstance(op, Touch) and op.region == "tables" and op.write
+        and op.npages > 64)
+    assert growth == 1024
+
+
+def test_mapreduce_reads_input_and_writes_output():
+    workload = MetisMapReduce(
+        input_pages=512, table_pages=1024, output_pages=16)
+    ops = collect(workload)
+    assert total_read_pages(ops, workload.input_file) == 512
+    assert total_written_pages(ops, workload.output_file) == 16
+
+
+def test_mapreduce_min_resident_scales():
+    workload = MetisMapReduce(min_resident_pages=mib_pages(640))
+    assert workload.min_resident_pages == mib_pages(640)
