@@ -18,6 +18,14 @@ from repro.errors import ReproError
 from repro.experiments.registry import experiment_ids, run_experiment
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -37,9 +45,23 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment id (see 'list'), or 'all'")
     run.add_argument(
-        "--scale", type=int, default=4,
+        "--scale", type=_positive_int, default=4,
         help="size divisor: 1 = paper-sized (slow), 4-8 = laptop-sized "
              "(default: 4)")
+    run.add_argument(
+        "--faults", action="store_true",
+        help="inject the standing chaos fault plan (deterministic, "
+             "seeded from each experiment's machine seed)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos run: the five standard configs under fault injection")
+    chaos.add_argument(
+        "--scale", type=_positive_int, default=4,
+        help="size divisor (default: 4)")
+    chaos.add_argument(
+        "--seed", type=int, default=1,
+        help="fault plan / machine seed (default: 1)")
     return parser
 
 
@@ -68,6 +90,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(experiment_id)
         return 0
 
+    if args.command == "chaos":
+        from repro.experiments.chaos import run_chaos
+
+        try:
+            result = run_chaos(scale=args.scale, seed=args.seed)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(result.rendered)
+        return 0
+
+    from repro.config import FaultConfig
+    from repro.faults.plan import set_default_fault_config
+
+    if args.faults:
+        set_default_fault_config(FaultConfig.chaos())
     try:
         if args.experiment == "all":
             for experiment_id in experiment_ids():
@@ -77,6 +115,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        set_default_fault_config(None)
     return 0
 
 

@@ -249,16 +249,111 @@ class VmConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection plan (chaos testing).
+
+    All rates are per-opportunity probabilities drawn from seeded
+    substreams of the machine RNG, so a (seed, FaultConfig) pair fully
+    determines every injected fault.  ``enabled=False`` (the default)
+    makes every hook a no-op that consumes no randomness, keeping
+    fault-free runs bit-identical to pre-fault-layer builds.
+    """
+
+    enabled: bool = False
+    # --- disk layer ---------------------------------------------------
+    #: Probability one disk request attempt fails transiently.
+    disk_transient_error_rate: float = 0.0
+    #: Probability a request suffers a latency spike...
+    disk_latency_spike_rate: float = 0.0
+    #: ...of this many extra seconds (a stalled head, a deep queue).
+    disk_latency_spike_seconds: float = 0.05
+    #: Probability an async/sync write is torn and must be reissued.
+    disk_torn_write_rate: float = 0.0
+    # --- retry policy (shared by disk and host swap path) -------------
+    #: Failed attempts allowed before the request aborts with FaultError.
+    max_retries: int = 3
+    #: First retry waits this long...
+    backoff_base: float = 1e-3
+    #: ...and each further retry multiplies the wait by this factor.
+    backoff_factor: float = 2.0
+    # --- host swap path -----------------------------------------------
+    #: Probability a host swap-in read fails and must be retried.
+    swap_read_error_rate: float = 0.0
+    #: Probability a swap slot's content fails its checksum on swap-in
+    #: (unrecoverable: surfaces as HostError, never silent stale data).
+    swap_slot_corruption_rate: float = 0.0
+    # --- mapper --------------------------------------------------------
+    #: Probability a freshly built page<->block association is forcibly
+    #: invalidated (modelling lost trust per Section 4.1).
+    mapper_invalidation_rate: float = 0.0
+    #: Forced invalidations a VM tolerates before its circuit breaker
+    #: trips and tracking falls back to baseline swapping.
+    mapper_breaker_threshold: int = 8
+    # --- simulation watchdogs (honoured even when ``enabled=False``) --
+    #: Abort the run after dispatching this many engine events.
+    watchdog_max_events: int | None = None
+    #: Abort the run once virtual time passes this many seconds.
+    watchdog_max_virtual_time: float | None = None
+
+    def validate(self) -> None:
+        for name in ("disk_transient_error_rate", "disk_latency_spike_rate",
+                     "disk_torn_write_rate", "swap_read_error_rate",
+                     "swap_slot_corruption_rate", "mapper_invalidation_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be within [0, 1]: {rate}")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff_base < 0:
+            raise ConfigError("backoff_base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.disk_latency_spike_seconds < 0:
+            raise ConfigError("latency spike must be non-negative")
+        if self.mapper_breaker_threshold <= 0:
+            raise ConfigError("mapper_breaker_threshold must be positive")
+        if (self.watchdog_max_events is not None
+                and self.watchdog_max_events <= 0):
+            raise ConfigError("watchdog_max_events must be positive")
+        if (self.watchdog_max_virtual_time is not None
+                and self.watchdog_max_virtual_time <= 0):
+            raise ConfigError("watchdog_max_virtual_time must be positive")
+
+    @staticmethod
+    def chaos() -> "FaultConfig":
+        """The standing chaos-suite plan: every layer faulted at rates a
+        healthy configuration should survive (retried or degraded), with
+        a generous watchdog so a wedged run aborts instead of hanging."""
+        return FaultConfig(
+            enabled=True,
+            disk_transient_error_rate=0.002,
+            disk_latency_spike_rate=0.001,
+            disk_torn_write_rate=0.001,
+            swap_read_error_rate=0.002,
+            swap_slot_corruption_rate=0.0002,
+            mapper_invalidation_rate=0.01,
+            mapper_breaker_threshold=4,
+            watchdog_max_events=50_000_000,
+            watchdog_max_virtual_time=1e6,
+        )
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """The whole physical host."""
 
     host: HostConfig = field(default_factory=HostConfig)
     disk: DiskConfig = field(default_factory=DiskConfig)
     seed: int = 1
+    #: Fault-injection plan; None means no fault layer at all (not even
+    #: watchdogs).  See :class:`FaultConfig`.
+    faults: FaultConfig | None = None
 
     def validate(self) -> None:
         self.host.validate()
         self.disk.validate()
+        if self.faults is not None:
+            self.faults.validate()
 
 
 def scaled_pages(pages: int, scale: int) -> int:
@@ -274,6 +369,7 @@ def scaled_pages(pages: int, scale: int) -> int:
 
 __all__ = [
     "DiskConfig",
+    "FaultConfig",
     "GuestConfig",
     "GuestOsKind",
     "HostConfig",

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.errors import ConsistencyError
+from repro.errors import ConsistencyError, DegradedError
 
 
 class TrackState(enum.Enum):
@@ -51,6 +51,9 @@ class SwapMapper:
         self._by_gpa: dict[int, Association] = {}
         self._by_block: dict[int, Association] = {}
         self.peak_tracked = 0
+        #: Circuit-breaker fallback (Section 4.1): once disabled, no new
+        #: associations are built and the VM swaps like the baseline.
+        self.disabled = False
 
     # ------------------------------------------------------------------
     # building and breaking associations
@@ -61,7 +64,10 @@ class SwapMapper:
 
         Latest-wins on both keys: a page can only match one block and a
         block is only claimed by the most recent page that read it.
+        No-op once the mapper is :attr:`disabled`.
         """
+        if self.disabled:
+            return
         self.drop_gpa(gpa)
         old = self._by_block.pop(block, None)
         if old is not None:
@@ -93,12 +99,35 @@ class SwapMapper:
                 f"guest store reached non-resident tracked page {gpa:#x}")
         return self.drop_gpa(gpa)
 
+    def disable(self) -> list[int]:
+        """Fall back to baseline swapping (the Section 4.1 escape hatch).
+
+        Resident associations are dropped -- their pages become ordinary
+        anonymous memory that host reclaim will swap instead of discard.
+        *Discarded* associations are kept: their only copy lives in the
+        image, so the fault path must still be able to refault them (the
+        refault self-check verifies the bytes, so no stale data can slip
+        through).  Returns the GPAs whose associations were dropped so
+        the caller can reclassify them on the reclaim lists.
+        """
+        self.disabled = True
+        dropped = [gpa for gpa, assoc in self._by_gpa.items()
+                   if assoc.state is TrackState.RESIDENT]
+        for gpa in dropped:
+            self.drop_gpa(gpa)
+        return dropped
+
     # ------------------------------------------------------------------
     # reclaim / refault transitions
     # ------------------------------------------------------------------
 
     def mark_discarded(self, gpa: int) -> int:
         """Reclaim discarded the page; returns its backing block."""
+        if self.disabled:
+            # Post-fallback no page may be discarded on the mapper's
+            # say-so: an untrusted association could lose the only copy.
+            raise DegradedError(
+                f"mapper is disabled; cannot discard page {gpa:#x}")
         assoc = self._require(gpa)
         if assoc.state is TrackState.DISCARDED:
             raise ConsistencyError(f"double discard of page {gpa:#x}")

@@ -13,10 +13,14 @@ occupies the head, delaying subsequent reads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.disk.latency import LatencyModel
-from repro.errors import DiskError
+from repro.errors import DiskError, FaultError
 from repro.sim.clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass
@@ -30,6 +34,12 @@ class DiskStats:
     busy_time: float = 0.0
     #: Histogram of request counts per region name.
     per_region_requests: dict[str, int] = field(default_factory=dict)
+    # --- fault injection (zero unless a FaultPlan is attached) --------
+    transient_errors: int = 0
+    retries: int = 0
+    fault_aborts: int = 0
+    latency_spikes: int = 0
+    torn_writes: int = 0
 
 
 class DiskDevice:
@@ -37,7 +47,8 @@ class DiskDevice:
 
     def __init__(self, clock: Clock, latency: LatencyModel,
                  *, name: str = "disk0",
-                 max_write_backlog: float = 0.25) -> None:
+                 max_write_backlog: float = 0.25,
+                 faults: "FaultPlan | None" = None) -> None:
         self.clock = clock
         self.latency = latency
         self.name = name
@@ -45,6 +56,8 @@ class DiskDevice:
         #: device backlog drains below this many seconds (dirty-page
         #: throttling keeps buffered writes from being free).
         self.max_write_backlog = max_write_backlog
+        #: Optional deterministic fault schedule (chaos layer).
+        self.faults = faults
         self.stats = DiskStats()
         self._busy_until = 0.0
         self._head_sector = 0
@@ -73,6 +86,8 @@ class DiskDevice:
         begin = max(now, self._busy_until)
         distance = abs(start_sector - self._head_sector)
         service = self.latency.service_time(distance, nsectors)
+        if self.faults is not None and self.faults.enabled:
+            service = self._inject_faults(service, write=write)
         completion = begin + service
 
         self.stats.requests += 1
@@ -89,6 +104,41 @@ class DiskDevice:
         self._busy_until = completion
         self._head_sector = start_sector + nsectors
         return completion, completion - now
+
+    def _inject_faults(self, service: float, *, write: bool) -> float:
+        """Apply the fault plan to one request; returns adjusted service.
+
+        Latency spikes stretch the request; transient errors re-issue it
+        after an exponential backoff, up to the plan's retry budget, and
+        then abort with :class:`FaultError`; torn writes are detected by
+        the block layer and reissued once.  Every decision lands in both
+        the device stats and the plan's machine-wide counters.
+        """
+        plan = self.faults
+        base_service = service
+        spike = plan.disk_latency_spike()
+        if spike:
+            service += spike
+            self.stats.latency_spikes += 1
+            plan.counters.bump("disk_latency_spikes")
+        attempt = 1
+        while plan.disk_transient_error():
+            self.stats.transient_errors += 1
+            plan.counters.bump("disk_transient_errors")
+            if attempt > plan.max_retries:
+                self.stats.fault_aborts += 1
+                plan.counters.bump("disk_fault_aborts")
+                raise FaultError(
+                    f"{self.name}: request failed after {attempt} attempts")
+            service += plan.retry_backoff(attempt) + base_service
+            self.stats.retries += 1
+            plan.counters.bump("disk_retries")
+            attempt += 1
+        if write and plan.disk_torn_write():
+            self.stats.torn_writes += 1
+            plan.counters.bump("disk_torn_writes")
+            service += base_service  # detected and rewritten in full
+        return service
 
     def read(self, start_sector: int, nsectors: int,
              *, region: str = "?") -> float:

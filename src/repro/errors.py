@@ -55,6 +55,26 @@ class HostError(ReproError):
     """The hypervisor model was driven into an invalid state."""
 
 
+class FaultError(ReproError):
+    """An injected fault exhausted its retry budget.
+
+    Raised by the fault-injection layer (:mod:`repro.faults`) when a
+    transient failure persists past the retry-with-backoff policy --
+    e.g. a disk request that keeps failing.  Experiments catch this at
+    the runner boundary and report the configuration as *crashed*.
+    """
+
+
+class DegradedError(FaultError):
+    """An operation was refused because a subsystem degraded itself.
+
+    After repeated faults trip a circuit breaker (the Swap Mapper's
+    Section 4.1 fallback to uncooperative swapping), requests that
+    *require* the disabled mechanism raise this instead of silently
+    returning untrustworthy state.
+    """
+
+
 class ConsistencyError(ReproError):
     """A data-consistency invariant of the Swap Mapper was violated.
 

@@ -70,6 +70,7 @@ def run_fig09(*, scale: int = 1, iterations: int = 8,
             "swap_sectors_written": result.iteration_counter_deltas(
                 "swap_sectors_written"),
             "stale_reads": result.iteration_counter_deltas("stale_reads"),
+            "status": result.status,
         }
 
     table = Table(
@@ -79,7 +80,8 @@ def run_fig09(*, scale: int = 1, iterations: int = 8,
          "swap sectors written"],
     )
     for config, panels in series.items():
-        for i in range(iterations):
+        completed = len(panels["runtime"])
+        for i in range(completed):
             table.add_row(
                 config, i + 1,
                 round(panels["runtime"][i], 2),
@@ -87,6 +89,11 @@ def run_fig09(*, scale: int = 1, iterations: int = 8,
                 panels["guest_faults"][i],
                 panels["swap_sectors_written"][i],
             )
+        if completed < iterations:
+            # A fault-induced crash cut the run short (see RunResult
+            # .crash_reason); render the missing tail as one marker row.
+            table.add_row(config, f"{completed + 1}+", panels["status"],
+                          "-", "-", "-")
     return FigureResult("fig09", series, table.render())
 
 

@@ -15,6 +15,7 @@ from repro.experiments.ablations import (
     run_preventer_param_ablation,
     run_ssd_ablation,
 )
+from repro.experiments.chaos import run_chaos
 from repro.experiments.dynamic import run_fig04, run_fig14
 from repro.experiments.migration import run_migration_study
 from repro.experiments.fig05_11 import run_fig05_fig11
@@ -50,6 +51,7 @@ EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "ablation-preventer": run_preventer_param_ablation,
     "ablation-cluster": run_cluster_ablation,
     "migration-study": run_migration_study,
+    "chaos": run_chaos,
 }
 
 #: Experiments whose harness takes no ``scale`` parameter.

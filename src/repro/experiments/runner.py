@@ -21,7 +21,15 @@ from repro.config import (
     VSwapperConfig,
 )
 from repro.driver import VmDriver
-from repro.errors import ExperimentError, GuestOomKill
+from repro.errors import (
+    ConsistencyError,
+    DiskError,
+    ExperimentError,
+    FaultError,
+    GuestOomKill,
+    HostError,
+    SimulationError,
+)
 from repro.machine import Machine
 from repro.metrics.timeline import Timeline
 from repro.units import mib_pages
@@ -76,6 +84,13 @@ class PhaseMark:
     counters: dict[str, int] = field(default_factory=dict)
 
 
+#: Fault-induced failures the runner reports as a *crashed* cell (the
+#: paper's missing OOM bars) instead of aborting the whole sweep.
+#: Harness bugs (ExperimentError, ConfigError) still propagate.
+FAULT_INDUCED_ERRORS = (
+    FaultError, HostError, ConsistencyError, DiskError, SimulationError)
+
+
 @dataclass
 class RunResult:
     """Outcome of one workload run under one configuration."""
@@ -86,27 +101,46 @@ class RunResult:
     counters: dict[str, int]
     phases: list[PhaseMark] = field(default_factory=list)
     timeline: Timeline | None = None
+    #: A fault circuit breaker dropped the VM to baseline swapping
+    #: mid-run (the run still completed, in degraded mode).
+    degraded: bool = False
+    #: ``"ErrorType: message"`` when ``crashed`` came from an exception
+    #: the runner caught (None for clean runs and OOM-kill crashes).
+    crash_reason: str | None = None
+
+    @property
+    def status(self) -> str:
+        """Cell status for sweep tables: ok / degraded / crashed."""
+        if self.crashed:
+            return "crashed"
+        return "degraded" if self.degraded else "ok"
 
     def phase_times(self, name: str) -> list[float]:
         """Times of every occurrence of phase ``name``."""
         return [p.time for p in self.phases if p.name == name]
 
+    def _check_iteration_marks(self, starts: int, ends: int) -> None:
+        """A crashed run may leave its final iteration open (started but
+        never finished); any other imbalance is a harness bug."""
+        if starts == ends:
+            return
+        if self.crashed and starts == ends + 1:
+            return
+        raise ExperimentError(
+            f"unbalanced iteration marks: {starts} starts, {ends} ends")
+
     def iteration_durations(self) -> list[float]:
-        """Durations between iteration-start/iteration-end pairs."""
+        """Durations of *completed* iteration-start/iteration-end pairs."""
         starts = self.phase_times("iteration-start")
         ends = self.phase_times("iteration-end")
-        if len(starts) != len(ends):
-            raise ExperimentError(
-                f"unbalanced iteration marks: {len(starts)} starts, "
-                f"{len(ends)} ends")
+        self._check_iteration_marks(len(starts), len(ends))
         return [e - s for s, e in zip(starts, ends)]
 
     def iteration_counter_deltas(self, counter: str) -> list[int]:
         """Per-iteration change of one counter (Figure 9b--9d series)."""
         starts = [p for p in self.phases if p.name == "iteration-start"]
         ends = [p for p in self.phases if p.name == "iteration-end"]
-        if len(starts) != len(ends):
-            raise ExperimentError("unbalanced iteration marks")
+        self._check_iteration_marks(len(starts), len(ends))
         return [
             e.counters.get(counter, 0) - s.counters.get(counter, 0)
             for s, e in zip(starts, ends)
@@ -206,9 +240,10 @@ class SingleVmExperiment:
         try:
             if balloon:
                 machine.apply_static_balloon(vm, balloon)
-        except GuestOomKill:
+        except GuestOomKill as error:
             # Over-ballooning killed the workload during static setup.
-            return RunResult(spec.name, None, True, {}, phases)
+            return RunResult(spec.name, None, True, {}, phases,
+                             crash_reason=f"GuestOomKill: {error}")
 
         def on_phase(name: str, payload: dict, time: float) -> None:
             phases.append(
@@ -225,11 +260,20 @@ class SingleVmExperiment:
                 lambda: timeline.sample_all(machine.now))
 
         driver = VmDriver(machine, vm, workload, phase_callback=on_phase)
-        self._run_to_completion(machine, driver)
+        try:
+            self._run_to_completion(machine, driver)
+        except FAULT_INDUCED_ERRORS as error:
+            # An injected fault (or watchdog) killed this configuration:
+            # report the cell as crashed rather than aborting the sweep.
+            machine.engine.stop()
+            return RunResult(
+                spec.name, None, True, vm.counters.snapshot(), phases,
+                timeline, degraded=vm.degraded,
+                crash_reason=f"{type(error).__name__}: {error}")
         runtime = None if driver.crashed else driver.runtime
         return RunResult(
             spec.name, runtime, driver.crashed,
-            vm.counters.snapshot(), phases, timeline)
+            vm.counters.snapshot(), phases, timeline, degraded=vm.degraded)
 
     def _register_gauges(self, timeline: Timeline, machine: Machine,
                          vm) -> None:

@@ -1,0 +1,29 @@
+"""Circuit breaker: repeated faults flip a subsystem into fallback.
+
+The paper's data-consistency argument (Section 4.1) is that the Swap
+Mapper may *always* fall back to ordinary uncooperative swapping when
+an association can no longer be trusted.  The breaker decides when
+"occasionally untrusted" becomes "systematically untrusted": after
+``threshold`` recorded faults it trips, once, and stays open.
+"""
+
+from __future__ import annotations
+
+
+class CircuitBreaker:
+    """Counts faults; trips permanently once ``threshold`` is reached."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise ValueError(f"breaker threshold must be positive: {threshold}")
+        self.threshold = threshold
+        self.count = 0
+        self.tripped = False
+
+    def record(self) -> bool:
+        """Note one fault.  Returns True exactly once: on the trip."""
+        self.count += 1
+        if not self.tripped and self.count >= self.threshold:
+            self.tripped = True
+            return True
+        return False

@@ -1,0 +1,118 @@
+"""The seeded fault schedule consulted by every injection hook.
+
+Each layer draws from its own RNG substream (``disk``, ``swap``,
+``mapper``), so adding a hook to one layer never perturbs another
+layer's schedule -- the same isolation discipline the simulator uses
+for workload randomness.  Machine-wide injection totals accumulate in
+:attr:`FaultPlan.counters`, a :class:`repro.metrics.counters.Counters`
+instance, alongside the per-VM counters the hooks also bump.
+"""
+
+from __future__ import annotations
+
+from repro.config import FaultConfig
+from repro.faults.breaker import CircuitBreaker
+from repro.metrics.counters import Counters
+from repro.sim.rng import DeterministicRng
+
+#: Process-wide fallback consulted by Machine when a MachineConfig
+#: carries no FaultConfig; set by the CLI's ``--faults`` flag so
+#: experiments that build their own MachineConfig still get injection.
+_DEFAULT_FAULT_CONFIG: FaultConfig | None = None
+
+
+def set_default_fault_config(config: FaultConfig | None) -> None:
+    """Install (or clear) the process-wide default fault plan."""
+    global _DEFAULT_FAULT_CONFIG
+    _DEFAULT_FAULT_CONFIG = config
+
+
+def default_fault_config() -> FaultConfig | None:
+    """The process-wide default fault plan, if any."""
+    return _DEFAULT_FAULT_CONFIG
+
+
+class FaultPlan:
+    """Deterministic per-machine fault decisions.
+
+    Hooks return their decision *and* record it in :attr:`counters`;
+    when the plan is disabled every hook short-circuits to "no fault"
+    without consuming randomness, so enabling faults later cannot
+    retroactively change a fault-free run.
+    """
+
+    def __init__(self, config: FaultConfig, rng: DeterministicRng) -> None:
+        config.validate()
+        self.cfg = config
+        self.counters = Counters()
+        self._disk_rng = rng.fork("disk")
+        self._swap_rng = rng.fork("swap")
+        self._mapper_rng = rng.fork("mapper")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any injection happens at all."""
+        return self.cfg.enabled
+
+    @property
+    def max_retries(self) -> int:
+        """Failed attempts tolerated before an operation aborts."""
+        return self.cfg.max_retries
+
+    def retry_backoff(self, attempt: int) -> float:
+        """Exponential backoff before retry number ``attempt`` (1-based)."""
+        return self.cfg.backoff_base * self.cfg.backoff_factor ** (attempt - 1)
+
+    # ------------------------------------------------------------------
+    # disk layer
+    # ------------------------------------------------------------------
+
+    def disk_transient_error(self) -> bool:
+        """Whether this disk request attempt fails transiently."""
+        if not self.enabled or not self.cfg.disk_transient_error_rate:
+            return False
+        return self._disk_rng.chance(self.cfg.disk_transient_error_rate)
+
+    def disk_latency_spike(self) -> float:
+        """Extra service seconds injected into this request (0 = none)."""
+        if not self.enabled or not self.cfg.disk_latency_spike_rate:
+            return 0.0
+        if self._disk_rng.chance(self.cfg.disk_latency_spike_rate):
+            return self.cfg.disk_latency_spike_seconds
+        return 0.0
+
+    def disk_torn_write(self) -> bool:
+        """Whether this write lands torn and must be reissued."""
+        if not self.enabled or not self.cfg.disk_torn_write_rate:
+            return False
+        return self._disk_rng.chance(self.cfg.disk_torn_write_rate)
+
+    # ------------------------------------------------------------------
+    # host swap path
+    # ------------------------------------------------------------------
+
+    def swap_read_failure(self) -> bool:
+        """Whether this swap-in read attempt fails and must be retried."""
+        if not self.enabled or not self.cfg.swap_read_error_rate:
+            return False
+        return self._swap_rng.chance(self.cfg.swap_read_error_rate)
+
+    def swap_slot_corrupted(self) -> bool:
+        """Whether the faulting slot fails its checksum (unrecoverable)."""
+        if not self.enabled or not self.cfg.swap_slot_corruption_rate:
+            return False
+        return self._swap_rng.chance(self.cfg.swap_slot_corruption_rate)
+
+    # ------------------------------------------------------------------
+    # mapper
+    # ------------------------------------------------------------------
+
+    def mapper_invalidation(self) -> bool:
+        """Whether a just-built association is forcibly invalidated."""
+        if not self.enabled or not self.cfg.mapper_invalidation_rate:
+            return False
+        return self._mapper_rng.chance(self.cfg.mapper_invalidation_rate)
+
+    def new_breaker(self) -> CircuitBreaker:
+        """A fresh per-VM circuit breaker at the configured threshold."""
+        return CircuitBreaker(self.cfg.mapper_breaker_threshold)

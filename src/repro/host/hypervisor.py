@@ -44,7 +44,7 @@ class Hypervisor:
 
     def __init__(self, clock: Clock, disk: DiskDevice, frames: FramePool,
                  swap_area: HostSwapArea, cfg: HostConfig,
-                 rng=None) -> None:
+                 rng=None, faults=None) -> None:
         cfg.validate()
         self.clock = clock
         self.disk = disk
@@ -52,9 +52,13 @@ class Hypervisor:
         self.swap_area = swap_area
         self.cfg = cfg
         self.rng = rng
+        #: Optional deterministic fault schedule (chaos layer).
+        self.faults = faults
         self.vms: list[Vm] = []
         #: host swap slot -> (vm, gpa) owning its content.
         self.slot_owner: dict[int, tuple[Vm, int]] = {}
+        #: vm_id -> circuit breaker accumulating injected mapper faults.
+        self._mapper_breakers: dict[int, object] = {}
 
     def register_vm(self, vm: Vm) -> None:
         """Add a VM to the reclaim population."""
@@ -189,10 +193,11 @@ class Hypervisor:
             entry = vm.ept.entry(t.gpa)
             entry.dirty = False
             self._invalidate_swap_clean(vm, t.gpa)
-            if mapper is not None and t.aligned:
+            if mapper is not None and t.aligned and not mapper.disabled:
                 mapper.track(t.gpa, t.block)
                 vm.scanner.change_kind(t.gpa, named=True)
                 vm.costs.cpu(self.cfg.mmap_page_cost)
+                self._maybe_fault_mapper(vm, t.gpa)
             else:
                 vm.scanner.change_kind(t.gpa, named=False)
 
@@ -256,10 +261,11 @@ class Hypervisor:
             vm.set_content(t.gpa, new_version)
             vm.ept.entry(t.gpa).dirty = False
             self._invalidate_swap_clean(vm, t.gpa)
-            if mapper is not None and t.aligned:
+            if mapper is not None and t.aligned and not mapper.disabled:
                 mapper.track(t.gpa, t.block)
                 vm.scanner.change_kind(t.gpa, named=True)
                 vm.costs.cpu(self.cfg.mmap_page_cost)
+                self._maybe_fault_mapper(vm, t.gpa)
 
     def balloon_pin(self, vm: Vm, gpas: list[int]) -> None:
         """The guest balloon pinned ``gpas``: release their host backing."""
@@ -352,11 +358,20 @@ class Hypervisor:
             on_disk.append((s, g))
         if not any(s == slot for s, _ in on_disk):
             raise HostError(f"swap slot {slot} not readable")
+        if self.faults is not None and self.faults.swap_slot_corrupted():
+            # Checksum mismatch on the slot the guest needs: the data is
+            # gone and must never be handed over -- fail loudly instead
+            # of returning stale bytes.
+            vm.counters.bump("swap_slot_corruptions")
+            self.faults.counters.bump("swap_slot_corruptions")
+            raise HostError(
+                f"swap slot {slot} corrupted (checksum mismatch) for "
+                f"page {gpa:#x} of VM {vm.name}")
         first = min(s for s, _ in on_disk)
         last = max(s for s, _ in on_disk)
         nsectors = (last - first + 1) * SECTORS_PER_PAGE
-        stall = self.disk.read(
-            self.swap_area.sector_of(first), nsectors, region="host-swap")
+        stall = self._read_swap_with_retries(
+            vm, self.swap_area.sector_of(first), nsectors)
         self._charge_stall(vm, stall, context)
         vm.counters.disk_ops += 1
         vm.counters.swap_sectors_read += nsectors
@@ -425,7 +440,14 @@ class Hypervisor:
             mapper.mark_refaulted(g)
             vm.ept.map_page(g, accessed=(g == gpa), dirty=False)
             self.frames.allocate(1)
-            vm.scanner.note_resident(g, named=True)
+            if mapper.disabled:
+                # Degraded (circuit breaker tripped): the refault itself
+                # is still image-backed and verified, but the page goes
+                # back anonymous so it swaps like the baseline from here.
+                mapper.drop_gpa(g)
+                vm.scanner.note_resident(g, named=False)
+            else:
+                vm.scanner.note_resident(g, named=True)
 
     def _map_fresh(self, vm: Vm, gpa: int, context: str) -> None:
         """Minor fault: map a frame with no disk content to read."""
@@ -748,6 +770,73 @@ class Hypervisor:
         if slot is not None:
             self.slot_owner.pop(slot, None)
             self.swap_area.free(slot)
+
+    # ==================================================================
+    # fault injection (chaos layer)
+    # ==================================================================
+
+    def _read_swap_with_retries(self, vm: Vm, sector: int,
+                                nsectors: int) -> float:
+        """Swap-in read surviving injected failures by re-reading.
+
+        Each failed attempt costs the backoff wait plus a full re-read;
+        exhausting the retry budget raises :class:`HostError` -- the
+        guest never receives a page the host could not actually read.
+        """
+        plan = self.faults
+        stall = self.disk.read(sector, nsectors, region="host-swap")
+        if plan is None or not plan.enabled:
+            return stall
+        attempt = 1
+        while plan.swap_read_failure():
+            if attempt > plan.max_retries:
+                raise HostError(
+                    f"swap read at sector {sector} failed after "
+                    f"{attempt} attempts")
+            stall += plan.retry_backoff(attempt)
+            stall += self.disk.read(sector, nsectors, region="host-swap")
+            vm.counters.bump("swap_read_retries")
+            plan.counters.bump("swap_read_retries")
+            attempt += 1
+        return stall
+
+    def _maybe_fault_mapper(self, vm: Vm, gpa: int) -> None:
+        """Possibly inject a forced consistency invalidation on ``gpa``.
+
+        Models the Section 4.1 situation where a tracked association can
+        no longer be trusted: the safe response is always to sever the
+        link (the page degrades to ordinary anonymous memory).  Repeated
+        injections trip the VM's circuit breaker into full baseline
+        fallback.
+        """
+        plan = self.faults
+        mapper = vm.mapper
+        if (plan is None or mapper is None or mapper.disabled
+                or not plan.mapper_invalidation()):
+            return
+        if mapper.is_tracked_resident(gpa):
+            mapper.drop_gpa(gpa)
+            if vm.ept.is_present(gpa):
+                vm.scanner.change_kind(gpa, named=False)
+        vm.counters.bump("mapper_forced_invalidations")
+        plan.counters.bump("mapper_forced_invalidations")
+        breaker = self._mapper_breakers.get(vm.vm_id)
+        if breaker is None:
+            breaker = plan.new_breaker()
+            self._mapper_breakers[vm.vm_id] = breaker
+        if breaker.record():
+            self._trip_mapper_breaker(vm)
+
+    def _trip_mapper_breaker(self, vm: Vm) -> None:
+        """Too many untrusted associations: fall back to baseline
+        swapping for this guest (tracking off, resident links severed,
+        discarded pages stay refaultable)."""
+        for gpa in vm.mapper.disable():
+            if vm.ept.is_present(gpa):
+                vm.scanner.change_kind(gpa, named=False)
+        vm.degraded = True
+        vm.counters.bump("mapper_breaker_trips")
+        self.faults.counters.bump("mapper_breaker_trips")
 
     # ==================================================================
     # helpers

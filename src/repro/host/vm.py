@@ -81,6 +81,9 @@ class Vm:
 
         self.counters = Counters()
         self.costs = CostAccumulator()
+        #: Set when a fault circuit breaker dropped this VM to baseline
+        #: swapping (the Section 4.1 fallback); reported on RunResult.
+        self.degraded = False
         #: Fault-stall overlap factor, set by the driver from the
         #: workload's thread count (asynchronous page faults).
         self.fault_overlap = 1.0

@@ -16,6 +16,7 @@ from repro.disk.image import VirtualDiskImage
 from repro.disk.latency import HddLatencyModel, LatencyModel, SsdLatencyModel
 from repro.disk.swaparea import HostSwapArea
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, default_fault_config
 from repro.guest.kernel import GuestKernel
 from repro.host.hypervisor import Hypervisor
 from repro.host.qemu import QemuProcess
@@ -57,8 +58,22 @@ class Machine:
     def __init__(self, config: MachineConfig) -> None:
         config.validate()
         self.cfg = config
-        self.engine = Engine()
+        # The config's explicit FaultConfig wins; otherwise the
+        # process-wide default (the CLI's --faults flag) applies.
+        fault_cfg = (config.faults if config.faults is not None
+                     else default_fault_config())
+        if fault_cfg is not None:
+            fault_cfg.validate()
+        self.engine = Engine(
+            max_events=(fault_cfg.watchdog_max_events
+                        if fault_cfg else None),
+            max_virtual_time=(fault_cfg.watchdog_max_virtual_time
+                              if fault_cfg else None))
         self.rng = DeterministicRng(config.seed)
+        #: Deterministic fault schedule; None when injection is off.
+        self.faults: FaultPlan | None = (
+            FaultPlan(fault_cfg, self.rng.fork("faults"))
+            if fault_cfg is not None and fault_cfg.enabled else None)
 
         self.layout = DiskLayout()
         self._host_root = self.layout.add_region_pages(
@@ -69,11 +84,13 @@ class Machine:
 
         self.disk = DiskDevice(
             self.engine.clock, build_latency_model(config.disk),
-            max_write_backlog=config.disk.max_write_backlog_seconds)
+            max_write_backlog=config.disk.max_write_backlog_seconds,
+            faults=self.faults)
         self.frames = FramePool(config.host.total_memory_pages)
         self.hypervisor = Hypervisor(
             self.engine.clock, self.disk, self.frames,
-            self.swap_area, config.host, rng=self.rng.fork("hypervisor"))
+            self.swap_area, config.host, rng=self.rng.fork("hypervisor"),
+            faults=self.faults)
 
         self.vms: list[Vm] = []
         self._next_code_base = 0

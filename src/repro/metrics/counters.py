@@ -87,6 +87,26 @@ class Counters:
     #: Peak pages simultaneously tracked by the Mapper (Section 5.3).
     mapper_tracked_peak: int = 0
 
+    # --- fault injection accounting -----------------------------------------
+    #: Transient disk errors injected (each is retried or aborts).
+    disk_transient_errors: int = 0
+    #: Disk request attempts retried after a transient error.
+    disk_retries: int = 0
+    #: Disk requests that exhausted their retry budget (FaultError).
+    disk_fault_aborts: int = 0
+    #: Latency spikes injected into disk requests.
+    disk_latency_spikes: int = 0
+    #: Torn writes detected and reissued.
+    disk_torn_writes: int = 0
+    #: Host swap-in reads retried after an injected failure.
+    swap_read_retries: int = 0
+    #: Swap slots whose checksum failed on swap-in (HostError).
+    swap_slot_corruptions: int = 0
+    #: Mapper associations forcibly invalidated by the fault plan.
+    mapper_forced_invalidations: int = 0
+    #: Circuit-breaker trips that degraded a VM to baseline swapping.
+    mapper_breaker_trips: int = 0
+
     # --- balloon accounting -------------------------------------------------
     #: Pages moved into the balloon (inflations).
     balloon_inflated_pages: int = 0

@@ -24,13 +24,24 @@ Callback = Callable[[], None]
 
 
 class Engine:
-    """Event loop driving one simulation to completion."""
+    """Event loop driving one simulation to completion.
 
-    def __init__(self) -> None:
+    The optional watchdog limits (``max_events`` dispatched,
+    ``max_virtual_time`` reached) turn a wedged simulation -- a buggy
+    workload that reschedules forever, a process that stops advancing
+    time -- into a :class:`SimulationError` carrying a dump of the
+    pending event queue, instead of a silent hang.
+    """
+
+    def __init__(self, *, max_events: int | None = None,
+                 max_virtual_time: float | None = None) -> None:
         self.clock = Clock()
         self._heap: list[tuple[float, int, Callback]] = []
         self._sequence = itertools.count()
         self._stopped = False
+        self.max_events = max_events
+        self.max_virtual_time = max_virtual_time
+        self.events_dispatched = 0
 
     @property
     def now(self) -> float:
@@ -84,24 +95,52 @@ class Engine:
         self.schedule(interval if start_delay is None else start_delay, tick)
 
     def stop(self) -> None:
-        """Ask the engine to wind down: periodic tasks stop rescheduling."""
+        """Halt the engine: the run loop dispatches no further events
+        and periodic tasks stop rescheduling.  Sticky."""
         self._stopped = True
 
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` was called."""
+        return self._stopped
+
     def run(self, until: Optional[float] = None) -> float:
-        """Process events until the queue drains (or ``until`` passes).
+        """Process events until the queue drains (or ``until`` passes,
+        or :meth:`stop` is called, or a watchdog limit is exceeded).
 
         Returns the final virtual time.
         """
-        while self._heap:
+        while self._heap and not self._stopped:
             at, _seq, callback = self._heap[0]
             if until is not None and at > until:
                 self.clock.advance_to(until)
                 break
+            if (self.max_virtual_time is not None
+                    and at > self.max_virtual_time):
+                raise SimulationError(
+                    f"watchdog: virtual time {at:.3f}s exceeds limit "
+                    f"{self.max_virtual_time:.3f}s; {self._dump_pending()}")
+            if (self.max_events is not None
+                    and self.events_dispatched >= self.max_events):
+                raise SimulationError(
+                    f"watchdog: dispatched {self.events_dispatched} events "
+                    f"(limit {self.max_events}); {self._dump_pending()}")
             heapq.heappop(self._heap)
             self.clock.advance_to(at)
+            self.events_dispatched += 1
             callback()
         return self.clock.now
 
     def pending_events(self) -> int:
         """Number of events still queued (useful in tests)."""
         return len(self._heap)
+
+    def _dump_pending(self, limit: int = 8) -> str:
+        """Diagnostic summary of the earliest pending events."""
+        head = heapq.nsmallest(limit, self._heap)
+        lines = ", ".join(
+            f"t={at:.6f} {getattr(cb, '__qualname__', repr(cb))}"
+            for at, _seq, cb in head)
+        extra = len(self._heap) - len(head)
+        suffix = f" (+{extra} more)" if extra > 0 else ""
+        return f"{len(self._heap)} pending: [{lines}]{suffix}"

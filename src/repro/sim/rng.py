@@ -8,6 +8,7 @@ that every run of an experiment is bit-for-bit repeatable.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Sequence, TypeVar
 
@@ -36,9 +37,13 @@ class DeterministicRng:
 
         Forking with the same (seed, label) pair always yields the same
         substream, so components can be created in any order without
-        perturbing each other's randomness.
+        perturbing each other's randomness.  The child seed must not
+        come from :func:`hash`: string hashing is salted per process
+        (PYTHONHASHSEED), which would make "the same seed" produce a
+        different schedule on every interpreter launch.
         """
-        child_seed = hash((self._seed, label)) & 0x7FFFFFFF
+        digest = hashlib.sha256(f"{self._seed}\x00{label}".encode()).digest()
+        child_seed = int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
         return DeterministicRng(child_seed)
 
     def uniform(self, lo: float, hi: float) -> float:

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.mapper import METADATA_BYTES_PER_PAGE, SwapMapper
-from repro.errors import ConsistencyError
+from repro.errors import ConsistencyError, DegradedError
 
 
 def test_track_creates_resident_association():
@@ -99,6 +99,34 @@ def test_drop_gpa():
     assert mapper.drop_gpa(1)
     assert not mapper.drop_gpa(1)
     assert mapper.tracked_pages == 0
+
+
+def test_disable_drops_resident_keeps_discarded():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    mapper.track(2, 200)
+    mapper.mark_discarded(2)
+    dropped = mapper.disable()
+    assert dropped == [1]
+    assert mapper.disabled
+    assert not mapper.is_tracked(1)
+    assert mapper.is_discarded(2)       # refault path must still work
+    assert mapper.mark_refaulted(2) == 200
+
+
+def test_disabled_mapper_ignores_track_and_refuses_discard():
+    mapper = SwapMapper()
+    mapper.track(1, 100)
+    mapper.disable()
+    mapper.track(3, 300)                # silently ignored post-fallback
+    assert not mapper.is_tracked(3)
+    mapper2 = SwapMapper()
+    mapper2.track(1, 100)
+    mapper2.mark_discarded(1)
+    mapper2.disable()
+    mapper2.mark_refaulted(1)
+    with pytest.raises(DegradedError):
+        mapper2.mark_discarded(1)       # discard could lose the only copy
 
 
 def test_gauges():

@@ -1,0 +1,163 @@
+"""Disk fault injection: retry/backoff accounting and write throttling."""
+
+import pytest
+
+from repro.config import FaultConfig
+from repro.disk.device import DiskDevice
+from repro.disk.latency import HddLatencyModel
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+
+
+def make_device(max_write_backlog=0.25, fault_config=None, seed=42):
+    clock = Clock()
+    model = HddLatencyModel(bandwidth_bytes_per_sec=100e6,
+                            per_request_overhead=0.0)
+    faults = None
+    if fault_config is not None:
+        faults = FaultPlan(fault_config, DeterministicRng(seed))
+    return clock, DiskDevice(clock, model,
+                             max_write_backlog=max_write_backlog,
+                             faults=faults)
+
+
+# ----------------------------------------------------------------------
+# retry / backoff accounting
+# ----------------------------------------------------------------------
+
+def test_no_faults_without_a_plan():
+    _clock, disk = make_device()
+    for i in range(50):
+        disk.read(i * 8, 8)
+    assert disk.stats.transient_errors == 0
+    assert disk.stats.retries == 0
+
+
+def test_disabled_plan_injects_nothing():
+    cfg = FaultConfig(enabled=False, disk_transient_error_rate=1.0)
+    _clock, disk = make_device(fault_config=cfg)
+    disk.read(0, 8)
+    assert disk.stats.transient_errors == 0
+
+
+def test_transient_errors_are_retried_and_counted():
+    cfg = FaultConfig(enabled=True, disk_transient_error_rate=0.5,
+                      max_retries=10)
+    _clock, disk = make_device(fault_config=cfg)
+    for i in range(200):
+        disk.read(i * 8, 8)
+    assert disk.stats.transient_errors > 0
+    assert disk.stats.retries > 0
+    # Every injected error is accounted as either a retry or an abort.
+    assert disk.stats.transient_errors == (
+        disk.stats.retries + disk.stats.fault_aborts)
+
+
+def test_retry_adds_backoff_latency():
+    cfg = FaultConfig(enabled=True, disk_transient_error_rate=0.5,
+                      max_retries=50, backoff_base=0.01)
+    _clock, faulty = make_device(fault_config=cfg)
+    _clock2, clean = make_device()
+    faulty_total = sum(faulty.read(i * 8, 8) for i in range(100))
+    clean_total = sum(clean.read(i * 8, 8) for i in range(100))
+    assert faulty.stats.retries > 0
+    assert faulty_total > clean_total
+
+
+def test_exhausted_retries_raise_fault_error():
+    cfg = FaultConfig(enabled=True, disk_transient_error_rate=1.0,
+                      max_retries=2)
+    _clock, disk = make_device(fault_config=cfg)
+    with pytest.raises(FaultError):
+        disk.read(0, 8)
+    assert disk.stats.fault_aborts == 1
+    assert disk.stats.retries == 2  # budget fully consumed first
+
+
+def test_fault_totals_mirrored_into_plan_counters():
+    cfg = FaultConfig(enabled=True, disk_transient_error_rate=0.5,
+                      max_retries=10)
+    _clock, disk = make_device(fault_config=cfg)
+    for i in range(100):
+        disk.read(i * 8, 8)
+    plan_counts = disk.faults.counters.snapshot()
+    assert plan_counts["disk_retries"] == disk.stats.retries
+    assert plan_counts["disk_transient_errors"] == disk.stats.transient_errors
+
+
+def test_latency_spike_stretches_the_request():
+    spike = 0.5
+    cfg = FaultConfig(enabled=True, disk_latency_spike_rate=1.0,
+                      disk_latency_spike_seconds=spike)
+    _clock, disk = make_device(fault_config=cfg)
+    stall = disk.read(0, 8)
+    assert stall >= spike
+    assert disk.stats.latency_spikes == 1
+
+
+def test_torn_writes_hit_writes_only():
+    cfg = FaultConfig(enabled=True, disk_torn_write_rate=1.0)
+    _clock, disk = make_device(fault_config=cfg)
+    disk.read(0, 8)
+    assert disk.stats.torn_writes == 0
+    disk.write_sync(0, 8)
+    assert disk.stats.torn_writes == 1
+
+
+def test_torn_write_costs_a_reissue():
+    cfg = FaultConfig(enabled=True, disk_torn_write_rate=1.0)
+    _clock, faulty = make_device(fault_config=cfg)
+    _clock2, clean = make_device()
+    assert faulty.write_sync(0, 8) > clean.write_sync(0, 8)
+
+
+def test_backoff_grows_exponentially():
+    cfg = FaultConfig(enabled=True, backoff_base=0.001, backoff_factor=2.0)
+    plan = FaultPlan(cfg, DeterministicRng(1))
+    assert plan.retry_backoff(1) == pytest.approx(0.001)
+    assert plan.retry_backoff(2) == pytest.approx(0.002)
+    assert plan.retry_backoff(4) == pytest.approx(0.008)
+
+
+# ----------------------------------------------------------------------
+# max_write_backlog throttling
+# ----------------------------------------------------------------------
+
+def test_write_backlog_under_cap_is_free():
+    _clock, disk = make_device(max_write_backlog=10.0)
+    for i in range(20):
+        assert disk.write_async(i * 8, 8) == 0.0
+
+
+def test_write_backlog_throttle_equals_excess_over_cap():
+    cap = 0.001
+    _clock, disk = make_device(max_write_backlog=cap)
+    throttle = 0.0
+    for i in range(100):
+        throttle = disk.write_async(i * 10**6, 8)
+    backlog = disk.busy_until - disk.clock.now
+    assert throttle == pytest.approx(backlog - cap)
+
+
+def test_write_throttle_grows_with_backlog():
+    _clock, disk = make_device(max_write_backlog=0.001)
+    throttles = [disk.write_async(i * 10**6, 8) for i in range(50)]
+    assert throttles[-1] > throttles[1]
+
+
+def test_backlog_drains_with_virtual_time():
+    clock, disk = make_device(max_write_backlog=0.001)
+    for i in range(50):
+        disk.write_async(i * 10**6, 8)
+    clock.advance_to(disk.busy_until + 1.0)
+    # A sequential write after the drain has only its own tiny service.
+    assert disk.write_async(disk.head_sector, 8) == 0.0
+
+
+def test_sync_writes_bypass_the_backlog_cap():
+    """Sync writers wait for completion, never for the throttle cap."""
+    _clock, disk = make_device(max_write_backlog=0.0)
+    stall = disk.write_sync(0, 8)
+    assert stall == pytest.approx(8 * 512 / 100e6)

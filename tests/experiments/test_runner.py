@@ -89,6 +89,37 @@ def test_experiment_runs_all_configs_small():
         assert result.counters["disk_ops"] > 0
 
 
+def test_run_result_status_vocabulary():
+    ok = RunResult(ConfigName.BASELINE, 1.0, False, {})
+    degraded = RunResult(ConfigName.MAPPER, 1.0, False, {}, degraded=True)
+    crashed = RunResult(ConfigName.VSWAPPER, None, True, {},
+                        crash_reason="FaultError: boom")
+    assert ok.status == "ok"
+    assert degraded.status == "degraded"
+    assert crashed.status == "crashed"
+
+
+def test_fault_induced_crash_becomes_a_cell_not_an_abort():
+    """A configuration killed by injected faults reports as crashed;
+    the sweep (and its counters) survive."""
+    from repro.config import FaultConfig, MachineConfig
+
+    experiment = SingleVmExperiment(
+        guest_mib=16, actual_mib=4,
+        guest_config=scaled_guest_config(512, 32),
+        machine_config=MachineConfig(faults=FaultConfig(
+            enabled=True, swap_slot_corruption_rate=1.0)),
+        files=[("sysbench.dat", mib_pages(6))],
+    )
+    spec = standard_configs([ConfigName.BASELINE])[0]
+    result = experiment.run(spec, SysbenchFileRead(
+        file_pages=mib_pages(6), iterations=1, min_resident_pages=0))
+    assert result.crashed
+    assert result.status == "crashed"
+    assert result.crash_reason.startswith("HostError")
+    assert result.counters  # snapshot captured at the crash point
+
+
 def test_timeline_sampling():
     experiment = SingleVmExperiment(
         guest_mib=16, actual_mib=8,

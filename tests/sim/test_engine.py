@@ -116,6 +116,59 @@ def test_periodic_rejects_non_positive_interval():
         engine.add_periodic(0.0, lambda: None)
 
 
+def test_stop_halts_event_dispatch():
+    """Regression: stop() must halt the run loop itself, not merely
+    keep periodic tasks from rescheduling."""
+    engine = Engine()
+    seen = []
+    engine.schedule(1.0, lambda: (seen.append("a"), engine.stop()))
+    engine.schedule(2.0, lambda: seen.append("b"))
+    engine.schedule(3.0, lambda: seen.append("c"))
+    engine.run()
+    assert seen == ["a"]
+    assert engine.pending_events() == 2
+    assert engine.stopped
+
+
+def test_run_after_stop_returns_immediately():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.stop()
+    assert engine.run() == 0.0
+    assert engine.pending_events() == 1
+
+
+def test_watchdog_max_events_raises_instead_of_hanging():
+    engine = Engine(max_events=25)
+
+    def forever() -> float:
+        return 1.0  # a step process that never finishes
+
+    engine.add_process(forever)
+    with pytest.raises(SimulationError) as exc:
+        engine.run()
+    assert "watchdog" in str(exc.value)
+    assert "pending" in str(exc.value)  # diagnostic dump of the queue
+    assert engine.events_dispatched == 25
+
+
+def test_watchdog_max_virtual_time_raises():
+    engine = Engine(max_virtual_time=10.0)
+    engine.add_process(lambda: 3.0)
+    with pytest.raises(SimulationError) as exc:
+        engine.run()
+    assert "virtual time" in str(exc.value)
+    assert engine.now <= 10.0
+
+
+def test_watchdog_quiet_run_unaffected():
+    engine = Engine(max_events=100, max_virtual_time=100.0)
+    seen = []
+    engine.schedule(1.0, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [1.0]
+
+
 def test_events_scheduled_from_callbacks_run():
     engine = Engine()
     seen = []

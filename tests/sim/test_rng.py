@@ -23,6 +23,13 @@ def test_fork_is_deterministic():
     assert a.randint(0, 10**9) == b.randint(0, 10**9)
 
 
+def test_fork_seed_is_stable_across_interpreters():
+    """Fork derivation must not use hash(): string hashing is salted
+    per process, so a hash-derived child seed would give every
+    interpreter launch a different schedule.  Pin the exact value."""
+    assert DeterministicRng(7).fork("guest").seed == 98374863
+
+
 def test_fork_labels_independent():
     a = DeterministicRng(7).fork("guest")
     b = DeterministicRng(7).fork("host")

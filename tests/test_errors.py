@@ -8,9 +8,29 @@ from repro import errors
 def test_everything_derives_from_repro_error():
     for name in ("ConfigError", "SimulationError", "DiskError",
                  "MemoryError_", "GuestError", "GuestOomKill",
-                 "HostError", "ConsistencyError", "ExperimentError"):
+                 "HostError", "ConsistencyError", "ExperimentError",
+                 "FaultError", "DegradedError"):
         cls = getattr(errors, name)
         assert issubclass(cls, errors.ReproError)
+
+
+def test_degraded_error_is_a_fault_error():
+    assert issubclass(errors.DegradedError, errors.FaultError)
+
+
+def test_full_hierarchy_catchable_via_repro_error():
+    """Every public exception class in the module is raisable and
+    caught by a single ``except ReproError``."""
+    classes = [
+        cls for cls in vars(errors).values()
+        if isinstance(cls, type) and issubclass(cls, errors.ReproError)
+    ]
+    assert len(classes) >= 11  # base + 10 concrete kinds
+    for cls in classes:
+        try:
+            raise cls("injected")
+        except errors.ReproError as caught:
+            assert isinstance(caught, cls)
 
 
 def test_oom_kill_is_a_guest_error():

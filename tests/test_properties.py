@@ -106,6 +106,48 @@ def test_mapper_consistency_under_random_io(blocks, use_mapper):
                     vm.mapper.block_of(gpa), vm.content_of(gpa))
 
 
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_fault_injection_preserves_determinism(seed):
+    """Same seed + same FaultPlan => bit-identical counters across two
+    runs: injection is part of the deterministic schedule, not noise."""
+    from repro.config import FaultConfig, MachineConfig
+    from repro.errors import ReproError
+
+    def fingerprint():
+        base = small_machine_config(swap_writeback_batch_pages=16)
+        faults = FaultConfig(
+            enabled=True,
+            disk_transient_error_rate=0.01,
+            disk_latency_spike_rate=0.01,
+            disk_torn_write_rate=0.01,
+            swap_read_error_rate=0.01,
+            swap_slot_corruption_rate=0.001,
+            mapper_invalidation_rate=0.05,
+            mapper_breaker_threshold=3,
+        )
+        machine = Machine(MachineConfig(
+            host=base.host, disk=base.disk, seed=seed, faults=faults))
+        vm = machine.create_vm(small_vm_config(
+            vswapper=VSwapperConfig.mapper_only(), resident_limit_mib=1))
+        hyp = machine.hypervisor
+        trace = []
+        for i in range(800):
+            try:
+                if i % 5 == 0:
+                    hyp.virtio_read(
+                        vm, [Transfer(i % 128, 0x100 + (i * 7) % 512)])
+                else:
+                    hyp.touch_page(vm, 0x100 + (i * 7) % 512,
+                                   write=(i % 2 == 0))
+            except ReproError as error:
+                trace.append((i, type(error).__name__))
+        return (vm.counters.snapshot(), machine.disk.stats.requests,
+                machine.faults.counters.snapshot(), vm.degraded, trace)
+
+    assert fingerprint() == fingerprint()
+
+
 @settings(max_examples=10, deadline=None)
 @given(st.integers(min_value=0, max_value=2**31 - 1))
 def test_full_stack_determinism_per_seed(seed):
