@@ -8,6 +8,12 @@ regenerated evaluation is inspectable after a run:
 
 ``REPRO_BENCH_SCALE`` (default 8) divides all sizes; scale 1 is the
 paper-sized (slow) run.
+
+Benchmarks run against a shared :class:`~repro.exec.store.ResultStore`
+under ``benchmarks/results/store/``: every cell and figure persists as
+JSON, and the per-cell wall timings printed after each figure are read
+*back from the store*, not re-measured -- the same numbers a later
+``--resume`` run would trust.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ import os
 from pathlib import Path
 
 import pytest
+
+from repro.exec.store import ResultStore
 
 #: Size divisor for benchmark runs.
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "8"))
@@ -30,14 +38,38 @@ def bench_scale() -> int:
 
 
 @pytest.fixture(scope="session")
-def record_result():
-    """Persist and print a regenerated figure."""
+def bench_store() -> ResultStore:
+    """The shared result store benchmark runs persist into."""
+    return ResultStore(RESULTS_DIR / "store")
+
+
+def _timing_note(figure_result, store: ResultStore) -> str:
+    """Per-cell wall timings, read back from the persisted records."""
+    stats = figure_result.stats
+    if stats is None:
+        return ""
+    timings = store.cell_timings(stats.experiment_id)
+    if not timings:
+        return ""
+    slowest = sorted(timings.items(), key=lambda kv: -kv[1])[:5]
+    cells = ", ".join(f"{cell}={wall:.2f}s" for cell, wall in slowest)
+    return (f"[{stats.experiment_id}: cells={stats.cells} "
+            f"executed={stats.executed} cached={stats.cached}; "
+            f"slowest cells (from store): {cells}]")
+
+
+@pytest.fixture(scope="session")
+def record_result(bench_store):
+    """Persist and print a regenerated figure (plus store timings)."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _record(figure_result, note: str = "") -> None:
         text = figure_result.rendered
         if note:
             text = f"{text}\n{note}"
+        timing = _timing_note(figure_result, bench_store)
+        if timing:
+            text = f"{text}\n{timing}"
         (RESULTS_DIR / f"{figure_result.figure_id}.txt").write_text(
             text + "\n")
         print()

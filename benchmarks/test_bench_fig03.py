@@ -8,8 +8,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.fig09 import run_fig03
 
 
-def test_bench_fig03(benchmark, bench_scale, record_result):
-    result = run_once(benchmark, lambda: run_fig03(scale=bench_scale))
+def test_bench_fig03(benchmark, bench_scale, record_result, bench_store):
+    result = run_once(benchmark, lambda: run_fig03(scale=bench_scale, store=bench_store))
     series = result.series
     note = (
         "paper: baseline 38.7s | balloon+base 3.1s | vswapper 4.0s | "

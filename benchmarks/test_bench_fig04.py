@@ -9,8 +9,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.dynamic import run_fig04
 
 
-def test_bench_fig04(benchmark, bench_scale, record_result):
-    result = run_once(benchmark, lambda: run_fig04(scale=bench_scale))
+def test_bench_fig04(benchmark, bench_scale, record_result, bench_store):
+    result = run_once(benchmark, lambda: run_fig04(scale=bench_scale, store=bench_store))
     series = result.series
     note = (
         "paper: baseline 153s | balloon+base 167s | vswapper 88s | "

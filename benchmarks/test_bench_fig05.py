@@ -11,9 +11,9 @@ from repro.experiments.fig05_11 import run_fig05_fig11
 SWEEP = (512, 384, 256, 240, 192, 128)
 
 
-def test_bench_fig05(benchmark, bench_scale, record_result):
+def test_bench_fig05(benchmark, bench_scale, record_result, bench_store):
     result = run_once(benchmark, lambda: run_fig05_fig11(
-        scale=bench_scale, memory_sweep_mib=SWEEP))
+        scale=bench_scale, store=bench_store, memory_sweep_mib=SWEEP))
     record_result(
         result,
         "paper: balloon best while alive, killed below 240MB; baseline "
@@ -23,17 +23,17 @@ def test_bench_fig05(benchmark, bench_scale, record_result):
     balloon = result.series["balloon+base"]
 
     # Over-ballooning kills the workload below its floor, not above.
-    assert not balloon[512]["crashed"]
-    assert not balloon[384]["crashed"]
-    assert balloon[192]["crashed"]
-    assert balloon[128]["crashed"]
+    assert not balloon["512"]["crashed"]
+    assert not balloon["384"]["crashed"]
+    assert balloon["192"]["crashed"]
+    assert balloon["128"]["crashed"]
 
     # Pressure monotonically hurts the baseline.
-    assert base[128]["runtime"] > base[512]["runtime"] * 1.3
+    assert base["128"]["runtime"] > base["512"]["runtime"] * 1.3
 
     # VSwapper tracks ballooning closely where both run.
-    assert vsw[384]["runtime"] < balloon[384]["runtime"] * 1.25
+    assert vsw["384"]["runtime"] < balloon["384"]["runtime"] * 1.25
 
     # ...and keeps running where ballooning crashed.
-    assert not vsw[128]["crashed"]
-    assert vsw[128]["runtime"] < base[128]["runtime"]
+    assert not vsw["128"]["crashed"]
+    assert vsw["128"]["runtime"] < base["128"]["runtime"]

@@ -11,9 +11,9 @@ from benchmarks.conftest import run_once
 from repro.experiments.fig09 import run_fig09
 
 
-def test_bench_fig09(benchmark, bench_scale, record_result):
+def test_bench_fig09(benchmark, bench_scale, record_result, bench_store):
     result = run_once(
-        benchmark, lambda: run_fig09(scale=bench_scale, iterations=8))
+        benchmark, lambda: run_fig09(scale=bench_scale, store=bench_store, iterations=8))
     record_result(result)
     base = result.series["baseline"]
     vsw = result.series["vswapper"]

@@ -9,8 +9,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.fig10 import run_fig10
 
 
-def test_bench_fig10(benchmark, bench_scale, record_result):
-    result = run_once(benchmark, lambda: run_fig10(scale=bench_scale))
+def test_bench_fig10(benchmark, bench_scale, record_result, bench_store):
+    result = run_once(benchmark, lambda: run_fig10(scale=bench_scale, store=bench_store))
     record_result(
         result,
         "paper: preventer >= 2x faster than vswapper-without-preventer; "

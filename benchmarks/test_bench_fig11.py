@@ -13,9 +13,9 @@ SWEEP = (512, 384, 256, 192, 128)
 CONFIGS = (ConfigName.BASELINE, ConfigName.MAPPER, ConfigName.VSWAPPER)
 
 
-def test_bench_fig11(benchmark, bench_scale, record_result):
+def test_bench_fig11(benchmark, bench_scale, record_result, bench_store):
     result = run_once(benchmark, lambda: run_fig05_fig11(
-        scale=bench_scale, memory_sweep_mib=SWEEP,
+        scale=bench_scale, store=bench_store, memory_sweep_mib=SWEEP,
         config_names=CONFIGS))
     result.figure_id = "fig11"
     record_result(
@@ -25,11 +25,11 @@ def test_bench_fig11(benchmark, bench_scale, record_result):
     base = result.series["baseline"]
     vsw = result.series["vswapper"]
 
-    for memory in (384, 256, 192, 128):
+    for memory in ("384", "256", "192", "128"):
         assert vsw[memory]["disk_ops"] < base[memory]["disk_ops"]
         assert (vsw[memory]["swap_sectors_written"]
                 < base[memory]["swap_sectors_written"] / 2)
         assert base[memory]["pages_scanned"] > 0
     # Traffic grows monotonically-ish with pressure for the baseline.
-    assert (base[128]["swap_sectors_written"]
-            > base[384]["swap_sectors_written"])
+    assert (base["128"]["swap_sectors_written"]
+            > base["384"]["swap_sectors_written"])

@@ -11,9 +11,9 @@ from repro.experiments.dynamic import run_fig14
 GUEST_COUNTS = (1, 4, 7, 10)
 
 
-def test_bench_fig14(benchmark, bench_scale, record_result):
+def test_bench_fig14(benchmark, bench_scale, record_result, bench_store):
     result = run_once(benchmark, lambda: run_fig14(
-        scale=bench_scale, guest_counts=GUEST_COUNTS))
+        scale=bench_scale, store=bench_store, guest_counts=GUEST_COUNTS))
     record_result(
         result,
         "paper: pressure from ~7 guests; balloon-only/baseline up to "
@@ -21,7 +21,7 @@ def test_bench_fig14(benchmark, bench_scale, record_result):
     series = result.series
 
     def avg(config, n):
-        return series[config][n]["average_runtime"]
+        return series[config][str(n)]["average_runtime"]
 
     # No pressure at one guest: all configurations comparable.
     singles = [avg(c, 1) for c in series]

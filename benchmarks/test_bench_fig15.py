@@ -9,8 +9,8 @@ from benchmarks.conftest import run_once
 from repro.experiments.fig13_15 import run_fig15
 
 
-def test_bench_fig15(benchmark, bench_scale, record_result):
-    result = run_once(benchmark, lambda: run_fig15(scale=bench_scale))
+def test_bench_fig15(benchmark, bench_scale, record_result, bench_store):
+    result = run_once(benchmark, lambda: run_fig15(scale=bench_scale, store=bench_store))
     record_result(
         result,
         "paper: tracked size rides the clean-page-cache curve")

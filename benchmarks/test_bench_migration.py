@@ -8,9 +8,9 @@ from benchmarks.conftest import run_once
 from repro.experiments.migration import run_migration_study
 
 
-def test_bench_migration_study(benchmark, bench_scale, record_result):
+def test_bench_migration_study(benchmark, bench_scale, record_result, bench_store):
     result = run_once(benchmark,
-                      lambda: run_migration_study(scale=bench_scale))
+                      lambda: run_migration_study(scale=bench_scale, store=bench_store))
     record_result(
         result,
         "paper sec 7: 'avoid the transfer of free and clean guest "

@@ -9,9 +9,9 @@ from repro.experiments.sec53 import run_sec53
 from repro.experiments.sec54 import run_sec54
 
 
-def test_bench_sec53_overheads(benchmark, bench_scale, record_result):
+def test_bench_sec53_overheads(benchmark, bench_scale, record_result, bench_store):
     result = run_once(benchmark,
-                      lambda: run_sec53(scale=bench_scale))
+                      lambda: run_sec53(scale=bench_scale, store=bench_store))
     record_result(result)
     # Zero-pressure overhead within the paper's bound.
     assert result.series["slowdown"] < 1.035
@@ -20,9 +20,9 @@ def test_bench_sec53_overheads(benchmark, bench_scale, record_result):
     assert result.series["metadata_mib"] < 14.0
 
 
-def test_bench_sec54_windows(benchmark, bench_scale, record_result):
+def test_bench_sec54_windows(benchmark, bench_scale, record_result, bench_store):
     result = run_once(benchmark,
-                      lambda: run_sec54(scale=bench_scale))
+                      lambda: run_sec54(scale=bench_scale, store=bench_store))
     record_result(
         result,
         "paper: sysbench 302s -> 79s (3.8x); bzip2 306s -> 149s (2.1x)")

@@ -12,8 +12,9 @@ from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 
 
-def test_bench_table1(benchmark, record_result):
-    result = run_once(benchmark, run_table1)
+def test_bench_table1(benchmark, record_result, bench_store):
+    result = run_once(benchmark,
+                      lambda: run_table1(store=bench_store))
     record_result(result)
     ours = result.series["repro"]
     assert ours["Mapper"] > 0
@@ -22,9 +23,9 @@ def test_bench_table1(benchmark, record_result):
                            + ours["shared facade"])
 
 
-def test_bench_table2(benchmark, bench_scale, record_result):
+def test_bench_table2(benchmark, bench_scale, record_result, bench_store):
     result = run_once(benchmark,
-                      lambda: run_table2(scale=bench_scale))
+                      lambda: run_table2(scale=bench_scale, store=bench_store))
     record_result(
         result,
         "paper: balloon enabled 25s / disabled 78s (3.1x); "

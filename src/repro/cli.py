@@ -4,7 +4,15 @@ Examples::
 
     vswapper-repro list
     vswapper-repro run fig3 --scale 4
-    vswapper-repro run all --scale 8
+    vswapper-repro run all --scale 8 --jobs 4 --results-dir results/
+    vswapper-repro run all --scale 8 --jobs 4 --results-dir results/ --resume
+
+``--jobs N`` fans the experiment's cells out over N worker processes;
+results are bit-identical to ``--jobs 1`` (each cell builds its own
+seeded machine and the executor gathers results in declaration order).
+``--results-dir`` persists every cell and figure as JSON; adding
+``--resume`` skips any cell whose content hash is already stored, so an
+interrupted ``run all`` restarts where it died.
 """
 
 from __future__ import annotations
@@ -14,8 +22,16 @@ import sys
 import time
 from typing import Sequence
 
-from repro.errors import ReproError
-from repro.experiments.registry import experiment_ids, run_experiment
+from repro.errors import ConfigError, ReproError
+from repro.experiments.registry import (
+    cell_count,
+    describe,
+    experiment_ids,
+    run_experiment,
+)
+
+#: Scale used for the ``list`` command's cell counts (the run default).
+DEFAULT_SCALE = 4
 
 
 def _positive_int(text: str) -> int:
@@ -45,9 +61,21 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment id (see 'list'), or 'all'")
     run.add_argument(
-        "--scale", type=_positive_int, default=4,
+        "--scale", type=_positive_int, default=DEFAULT_SCALE,
         help="size divisor: 1 = paper-sized (slow), 4-8 = laptop-sized "
              "(default: 4)")
+    run.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for sweep cells; results are "
+             "bit-identical to --jobs 1 (default: 1)")
+    run.add_argument(
+        "--results-dir", default=None,
+        help="persist per-cell and per-figure results as JSON under "
+             "this directory")
+    run.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already present in --results-dir (content-"
+             "hash match); requires --results-dir")
     run.add_argument(
         "--faults", action="store_true",
         help="inject the standing chaos fault plan (deterministic, "
@@ -57,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="chaos run: the five standard configs under fault injection")
     chaos.add_argument(
-        "--scale", type=_positive_int, default=4,
+        "--scale", type=_positive_int, default=DEFAULT_SCALE,
         help="size divisor (default: 4)")
     chaos.add_argument(
         "--seed", type=int, default=1,
@@ -65,19 +93,60 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(experiment_id: str, scale: int) -> None:
+def _run_one(experiment_id: str, scale: int, *, executor=None,
+             store=None, resume: bool = False) -> tuple[int, int, int]:
     from repro.experiments.plots import chart_for
 
     started = time.time()
-    result = run_experiment(experiment_id, scale=scale)
+    result = run_experiment(experiment_id, scale=scale, executor=executor,
+                            store=store, resume=resume)
     elapsed = time.time() - started
     print(result.rendered)
     chart = chart_for(result)
     if chart:
         print()
         print(chart)
-    print(f"[{experiment_id}: regenerated in {elapsed:.1f}s wall time]")
+    stats = result.stats
+    cells = stats.cells if stats else 0
+    executed = stats.executed if stats else 0
+    cached = stats.cached if stats else 0
+    print(f"[{experiment_id}: regenerated in {elapsed:.1f}s wall time; "
+          f"cells={cells} executed={executed} cached={cached}]")
     print()
+    return cells, executed, cached
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    from repro.config import FaultConfig
+    from repro.exec.executor import make_executor
+    from repro.exec.store import ResultStore
+    from repro.faults.plan import set_default_fault_config
+
+    if args.resume and not args.results_dir:
+        raise ConfigError(
+            "--resume requires --results-dir (there is no store to "
+            "resume from)")
+    store = ResultStore(args.results_dir) if args.results_dir else None
+    executor = make_executor(args.jobs)
+
+    if args.faults:
+        set_default_fault_config(FaultConfig.chaos())
+    try:
+        if args.experiment == "all":
+            totals = [0, 0, 0]
+            for experiment_id in experiment_ids():
+                counts = _run_one(
+                    experiment_id, args.scale, executor=executor,
+                    store=store, resume=args.resume)
+                totals = [t + c for t, c in zip(totals, counts)]
+            print(f"[all: cells={totals[0]} executed={totals[1]} "
+                  f"cached={totals[2]}]")
+        else:
+            _run_one(args.experiment, args.scale, executor=executor,
+                     store=store, resume=args.resume)
+    finally:
+        set_default_fault_config(None)
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -86,8 +155,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for experiment_id in experiment_ids():
-            print(experiment_id)
+        ids = experiment_ids()
+        width = max(len(i) for i in ids)
+        for experiment_id in ids:
+            cells = cell_count(experiment_id, scale=DEFAULT_SCALE)
+            print(f"{experiment_id:<{width}}  cells={cells:<3} "
+                  f"{describe(experiment_id)}")
         return 0
 
     if args.command == "chaos":
@@ -101,23 +174,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.rendered)
         return 0
 
-    from repro.config import FaultConfig
-    from repro.faults.plan import set_default_fault_config
-
-    if args.faults:
-        set_default_fault_config(FaultConfig.chaos())
     try:
-        if args.experiment == "all":
-            for experiment_id in experiment_ids():
-                _run_one(experiment_id, args.scale)
-        else:
-            _run_one(args.experiment, args.scale)
+        return _run_command(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    finally:
-        set_default_fault_config(None)
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution

@@ -1,0 +1,47 @@
+"""The sweep execution substrate: specs, executors, result store.
+
+Experiments *declare* their parameter grid as a
+:class:`~repro.exec.spec.Sweep` of frozen
+:class:`~repro.exec.spec.CellSpec`\\ s; :func:`~repro.exec.executor.run_sweep`
+executes it serially or on a process pool, consults the
+content-addressed :class:`~repro.exec.store.ResultStore` for resumable
+caching, and hands the results back for figure assembly.  See
+DESIGN.md, "The exec layer".
+"""
+
+from repro.exec.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    SweepOutcome,
+    execute_cell,
+    finish_figure,
+    make_executor,
+    run_sweep,
+)
+from repro.exec.spec import (
+    SPEC_SCHEMA_VERSION,
+    CellSpec,
+    Sweep,
+    fault_params,
+    faults_from_params,
+    sweep_from_configs,
+)
+from repro.exec.store import ResultStore, cell_key
+
+__all__ = [
+    "CellSpec",
+    "ParallelExecutor",
+    "ResultStore",
+    "SPEC_SCHEMA_VERSION",
+    "SerialExecutor",
+    "Sweep",
+    "SweepOutcome",
+    "cell_key",
+    "execute_cell",
+    "fault_params",
+    "faults_from_params",
+    "finish_figure",
+    "make_executor",
+    "run_sweep",
+    "sweep_from_configs",
+]

@@ -1,0 +1,191 @@
+"""Cell executors: serial, process-pool parallel, and the sweep driver.
+
+Both executors run the same pure function, :func:`execute_cell`, over
+:class:`~repro.exec.spec.CellSpec`\\ s.  Each cell builds its own seeded
+:class:`~repro.machine.Machine`, so cells share no state and the
+parallel executor's results are bit-identical to the serial one's --
+results are gathered back into sweep order regardless of completion
+order, and a property test enforces the equality.
+
+Fault-induced failures keep their PR-1 semantics: the harness reports
+them as crashed/degraded *cells* (``RunResult.status``), so one faulted
+cell never poisons the pool.  Harness bugs (``ExperimentError``,
+``ConfigError``) still propagate and abort the sweep.
+
+:func:`run_sweep` adds the store integration: with ``resume=True``
+cells whose content hash is already in the :class:`ResultStore` are
+skipped entirely, which is what lets an interrupted ``run all`` restart
+where it died.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.exec.spec import CellSpec, Sweep, faults_from_params
+from repro.exec.store import ResultStore
+from repro.experiments.runner import FigureResult, RunResult, SweepStats
+
+
+def execute_cell(spec: CellSpec) -> RunResult:
+    """Run one cell, self-contained: resolve the harness's cell runner,
+    install the cell's fault plan, run, and freeze the result.
+
+    This is the unit both executors (and worker processes) invoke; it
+    must depend on nothing but the spec.
+    """
+    # Deferred imports keep module import acyclic (registry imports the
+    # experiment modules, which import this module for run_sweep).
+    from repro.experiments.registry import cell_runner
+    from repro.faults.plan import (
+        default_fault_config,
+        set_default_fault_config,
+    )
+
+    runner = cell_runner(spec.experiment_id)
+    ambient = default_fault_config()
+    set_default_fault_config(faults_from_params(spec.faults))
+    try:
+        result = runner(spec)
+    finally:
+        set_default_fault_config(ambient)
+    if result.timeline is not None:
+        # Gauges close over live VM state: not picklable, not JSON.
+        result.timeline.freeze()
+    return result
+
+
+def _timed_execute(spec: CellSpec) -> tuple[RunResult, float]:
+    started = time.perf_counter()
+    result = execute_cell(spec)
+    return result, time.perf_counter() - started
+
+
+class SerialExecutor:
+    """Run cells one after another in this process (the default)."""
+
+    jobs = 1
+
+    def run_cells(self, specs: Sequence[CellSpec]
+                  ) -> list[tuple[RunResult, float]]:
+        """(result, wall seconds) per spec, in submission order."""
+        return [_timed_execute(spec) for spec in specs]
+
+
+class ParallelExecutor:
+    """Run cells on a process pool, preserving deterministic order.
+
+    Futures are gathered by submission index, never by completion
+    order, so the visible result sequence is independent of scheduling.
+    Worker exceptions surface on :meth:`run_cells` exactly as they
+    would under :class:`SerialExecutor`.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be a positive integer: {jobs}")
+        self.jobs = jobs
+
+    def run_cells(self, specs: Sequence[CellSpec]
+                  ) -> list[tuple[RunResult, float]]:
+        """(result, wall seconds) per spec, in submission order."""
+        specs = list(specs)
+        workers = min(self.jobs, len(specs))
+        if workers <= 1:
+            return SerialExecutor().run_cells(specs)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_timed_execute, spec) for spec in specs]
+            return [future.result() for future in futures]
+
+
+def make_executor(jobs: int) -> SerialExecutor | ParallelExecutor:
+    """The executor for a ``--jobs`` value (1 = serial)."""
+    if jobs < 1:
+        raise ConfigError(f"jobs must be a positive integer: {jobs}")
+    return SerialExecutor() if jobs == 1 else ParallelExecutor(jobs)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything :func:`run_sweep` learned about one sweep."""
+
+    sweep: Sweep
+    #: Cell id -> result, in sweep (presentation) order.
+    results: dict[str, RunResult]
+    #: Cell id -> wall seconds, for the cells executed this run.
+    wall_seconds: dict[str, float] = field(default_factory=dict)
+    executed: int = 0
+    cached: int = 0
+
+    @property
+    def stats(self) -> SweepStats:
+        """Compact accounting for CLI summaries and benchmarks."""
+        return SweepStats(
+            experiment_id=self.sweep.experiment_id,
+            cells=len(self.sweep.cells),
+            executed=self.executed,
+            cached=self.cached,
+            wall_seconds=sum(self.wall_seconds.values()),
+        )
+
+
+def run_sweep(sweep: Sweep, *,
+              executor: SerialExecutor | ParallelExecutor | None = None,
+              store: ResultStore | None = None,
+              resume: bool = False) -> SweepOutcome:
+    """Execute a sweep: resolve cache hits, run the rest, persist.
+
+    With ``resume=True`` every cell already present in ``store`` (same
+    content hash) is returned from cache without executing; a store is
+    then mandatory.  Freshly executed cells are persisted to ``store``
+    when one is given, resume or not.
+    """
+    if resume and store is None:
+        raise ConfigError(
+            "resume requires a results store (pass --results-dir)")
+    executor = executor or SerialExecutor()
+
+    cached: dict[str, RunResult] = {}
+    pending: list[CellSpec] = []
+    for spec in sweep.cells:
+        hit = store.load_cell(spec) if (resume and store) else None
+        if hit is not None:
+            cached[spec.cell_id] = hit
+        else:
+            pending.append(spec)
+
+    executed = executor.run_cells(pending)
+
+    walls: dict[str, float] = {}
+    fresh: dict[str, RunResult] = {}
+    for spec, (result, wall) in zip(pending, executed):
+        fresh[spec.cell_id] = result
+        walls[spec.cell_id] = wall
+        if store is not None:
+            store.store_cell(spec, result, wall)
+
+    results = {
+        spec.cell_id: (cached.get(spec.cell_id) or fresh[spec.cell_id])
+        for spec in sweep.cells
+    }
+    return SweepOutcome(sweep=sweep, results=results, wall_seconds=walls,
+                        executed=len(fresh), cached=len(cached))
+
+
+def finish_figure(figure: FigureResult,
+                  outcome: SweepOutcome | None = None,
+                  store: ResultStore | None = None) -> FigureResult:
+    """Attach sweep stats to an assembled figure and persist it."""
+    if outcome is not None:
+        figure.stats = outcome.stats
+    if store is not None:
+        store.store_figure(figure)
+    return figure
+
+
+#: Signature every harness's cell runner satisfies.
+CellRunner = Callable[[CellSpec], RunResult]

@@ -1,0 +1,172 @@
+"""Content-addressed persistence for sweep cells and figures.
+
+Every executed cell is keyed by a SHA-256 hash of its canonical
+:class:`~repro.exec.spec.CellSpec` JSON plus the code-schema versions
+(spec and result).  The key therefore changes whenever *anything* that
+could change the simulation outcome changes -- parameters, scale, seed,
+fault plan, or the serialization schema itself -- so a cache hit is
+always safe to reuse and ``--resume`` can skip it without re-running.
+
+Layout under the store root::
+
+    cells/<experiment>/<cell-id>-<hash12>.json   one record per cell
+    figures/<figure-id>.json                     assembled figures
+
+Cell records carry the spec (for humans and audits), the result, and
+the wall-clock seconds the cell took -- which is how the benchmark
+suite reads per-cell timings back instead of re-deriving them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.exec.spec import SPEC_SCHEMA_VERSION, CellSpec
+from repro.experiments.runner import (
+    RESULT_SCHEMA_VERSION,
+    FigureResult,
+    RunResult,
+)
+
+#: Characters allowed verbatim in store file names; anything else is
+#: replaced (figure ids like ``sec5.3`` and ``fig05+fig11`` survive).
+_SAFE = re.compile(r"[^A-Za-z0-9._+@-]")
+
+
+def _sanitize(name: str) -> str:
+    return _SAFE.sub("_", name) or "_"
+
+
+def cell_key(spec: CellSpec) -> str:
+    """Content hash identifying one cell's result in the store."""
+    preimage = (f"spec-schema={SPEC_SCHEMA_VERSION};"
+                f"result-schema={RESULT_SCHEMA_VERSION};"
+                f"{spec.canonical_json()}")
+    return hashlib.sha256(preimage.encode()).hexdigest()
+
+
+class ResultStore:
+    """Filesystem-backed store of cell results and assembled figures."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ConfigError(
+                f"results dir {self.root} exists and is not a directory")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise ConfigError(
+                f"cannot create results dir {self.root}: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # cells
+    # ------------------------------------------------------------------
+
+    def cell_path(self, spec: CellSpec) -> Path:
+        """Where ``spec``'s record lives (whether or not it exists)."""
+        return (self.root / "cells" / _sanitize(spec.experiment_id)
+                / f"{_sanitize(spec.cell_id)}-{cell_key(spec)[:12]}.json")
+
+    def store_cell(self, spec: CellSpec, result: RunResult,
+                   wall_seconds: float) -> Path:
+        """Persist one executed cell."""
+        record = {
+            "key": cell_key(spec),
+            "spec": spec.to_dict(),
+            "wall_seconds": wall_seconds,
+            "result": result.to_dict(),
+        }
+        path = self.cell_path(spec)
+        _atomic_write(path, record)
+        return path
+
+    def load_cell(self, spec: CellSpec) -> RunResult | None:
+        """The cached result for ``spec``, or None (missing/stale/corrupt
+        records all read as cache misses, never as errors)."""
+        record = self._read_record(self.cell_path(spec))
+        if record is None or record.get("key") != cell_key(spec):
+            return None
+        try:
+            return RunResult.from_dict(record["result"])
+        except Exception:
+            return None
+
+    def has_cell(self, spec: CellSpec) -> bool:
+        """Whether ``spec`` would be a cache hit."""
+        return self.load_cell(spec) is not None
+
+    def cell_records(self, experiment_id: str | None = None
+                     ) -> Iterator[dict]:
+        """All stored cell records, optionally for one experiment."""
+        base = self.root / "cells"
+        if experiment_id is not None:
+            dirs = [base / _sanitize(experiment_id)]
+        else:
+            dirs = sorted(base.iterdir()) if base.is_dir() else []
+        for directory in dirs:
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.json")):
+                record = self._read_record(path)
+                if record is not None:
+                    yield record
+
+    def cell_timings(self, experiment_id: str) -> dict[str, float]:
+        """Recorded wall seconds per cell id for one experiment."""
+        timings: dict[str, float] = {}
+        for record in self.cell_records(experiment_id):
+            spec = record.get("spec") or {}
+            cell_id = spec.get("cell_id")
+            if cell_id is not None:
+                timings[cell_id] = record.get("wall_seconds", 0.0)
+        return timings
+
+    # ------------------------------------------------------------------
+    # figures
+    # ------------------------------------------------------------------
+
+    def figure_path(self, figure_id: str) -> Path:
+        """Where the assembled figure JSON lives."""
+        return self.root / "figures" / f"{_sanitize(figure_id)}.json"
+
+    def store_figure(self, figure: FigureResult) -> Path:
+        """Persist one assembled figure."""
+        path = self.figure_path(figure.figure_id)
+        _atomic_write(path, figure.to_dict())
+        return path
+
+    def load_figure(self, figure_id: str) -> FigureResult | None:
+        """A previously assembled figure, or None."""
+        record = self._read_record(self.figure_path(figure_id))
+        if record is None:
+            return None
+        try:
+            return FigureResult.from_dict(record)
+        except Exception:
+            return None
+
+    @staticmethod
+    def _read_record(path: Path) -> dict | None:
+        try:
+            with path.open() as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+
+def _atomic_write(path: Path, payload: dict) -> None:
+    """Write-then-rename so an interrupted run never leaves a torn
+    record (a torn record would read as a miss anyway, but a clean
+    store makes ``--resume`` audits trustworthy)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, path)

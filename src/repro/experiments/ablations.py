@@ -11,18 +11,24 @@ These go beyond the paper's figures and quantify:
   chosen 1 ms / 32 pages, Section 4.2);
 * the host's **swap readahead cluster size** interaction with decayed
   sequentiality.
+
+Series keys are JSON-safe strings: ``"hdd/baseline"`` for the SSD
+grid, ``"1ms/32"`` for the Preventer grid, ``"8"`` for cluster sizes.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.config import DiskConfig, HostConfig, MachineConfig, VSwapperConfig
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params
 from repro.experiments.runner import (
     ConfigName,
     ConfigSpec,
     FigureResult,
+    RunResult,
     SingleVmExperiment,
     scaled_guest_config,
     standard_configs,
@@ -31,6 +37,19 @@ from repro.metrics.report import Table
 from repro.units import mib_pages
 from repro.workloads.alloctouch import SysbenchThenAlloc
 from repro.workloads.sysbench import SysbenchFileRead
+
+DIRTY_BIT_CASES = (
+    ("no dirty bit (2013 hw)", False),
+    ("hardware dirty bit (Haswell)", True),
+)
+
+SSD_DISK_KINDS = ("hdd", "ssd")
+SSD_CONFIGS = (ConfigName.BASELINE, ConfigName.VSWAPPER)
+
+DEFAULT_PREVENTER_WINDOWS = (0.25e-3, 1e-3, 4e-3)
+DEFAULT_PREVENTER_CAPS = (8, 32, 128)
+
+DEFAULT_CLUSTERS = (1, 4, 8, 16, 32)
 
 
 def _sysbench_experiment(scale: int,
@@ -45,18 +64,42 @@ def _sysbench_experiment(scale: int,
     )
 
 
-def run_dirty_bit_ablation(*, scale: int = 1) -> FigureResult:
-    """Baseline swapping with and without a guest-page dirty bit."""
+def build_dirty_bit_sweep(*, scale: int = 1) -> Sweep:
+    """Declare the dirty-bit pair: 2013 hardware vs Haswell."""
+    faults = fault_params()
+    cells = tuple(
+        CellSpec(
+            experiment_id="ablation-dirty-bit",
+            cell_id="hw-dirty-bit" if hw_bit else "no-dirty-bit",
+            scale=scale,
+            config=ConfigName.BASELINE.value,
+            params={"hardware_dirty_bit": hw_bit, "label": label},
+            faults=faults,
+        )
+        for label, hw_bit in DIRTY_BIT_CASES)
+    return Sweep("ablation-dirty-bit", cells)
+
+
+def dirty_bit_cell(spec: CellSpec) -> RunResult:
+    """Baseline swapping with/without a guest-page dirty bit."""
+    scale = spec.scale
+    machine_config = MachineConfig(
+        seed=spec.seed,
+        host=HostConfig(hardware_dirty_bit=spec.params["hardware_dirty_bit"]))
+    experiment = _sysbench_experiment(scale, machine_config)
+    config = standard_configs([ConfigName(spec.config)])[0]
+    return experiment.run(config, SysbenchFileRead(
+        file_pages=mib_pages(200 / scale), iterations=4))
+
+
+def assemble_dirty_bit(sweep: Sweep,
+                       results: Mapping[str, RunResult]) -> FigureResult:
+    """Build the dirty-bit ablation table from cells."""
+    scale = sweep.cells[0].scale
     rows: dict = {}
-    for label, hw_bit in (("no dirty bit (2013 hw)", False),
-                          ("hardware dirty bit (Haswell)", True)):
-        machine_config = MachineConfig(
-            host=HostConfig(hardware_dirty_bit=hw_bit))
-        experiment = _sysbench_experiment(scale, machine_config)
-        spec = standard_configs([ConfigName.BASELINE])[0]
-        result = experiment.run(spec, SysbenchFileRead(
-            file_pages=mib_pages(200 / scale), iterations=4))
-        rows[label] = {
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
+        rows[cell.params["label"]] = {
             "runtime": result.runtime,
             "swap_sectors_written": result.counters.get(
                 "swap_sectors_written"),
@@ -75,82 +118,200 @@ def run_dirty_bit_ablation(*, scale: int = 1) -> FigureResult:
     return FigureResult("ablation-dirty-bit", rows, table.render())
 
 
-def run_ssd_ablation(*, scale: int = 1) -> FigureResult:
-    """Baseline vs VSwapper on HDD and on SSD swap devices."""
+def run_dirty_bit_ablation(*, scale: int = 1, executor=None, store=None,
+                           resume: bool = False) -> FigureResult:
+    """Baseline swapping with and without a guest-page dirty bit."""
+    sweep = build_dirty_bit_sweep(scale=scale)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_dirty_bit(sweep, outcome.results), outcome, store)
+
+
+def build_ssd_sweep(*, scale: int = 1) -> Sweep:
+    """Declare the 2x2 grid: disk technology x configuration."""
+    faults = fault_params()
+    cells = tuple(
+        CellSpec(
+            experiment_id="ablation-ssd",
+            cell_id=f"{disk_kind}/{name.value}",
+            scale=scale,
+            config=name.value,
+            params={"disk_kind": disk_kind},
+            faults=faults,
+        )
+        for disk_kind in SSD_DISK_KINDS
+        for name in SSD_CONFIGS)
+    return Sweep("ablation-ssd", cells)
+
+
+def ssd_cell(spec: CellSpec) -> RunResult:
+    """Run sysbench x4 on one (disk technology, config) cell."""
+    scale = spec.scale
+    machine_config = MachineConfig(
+        seed=spec.seed,
+        disk=DiskConfig(kind=spec.params["disk_kind"]))
+    experiment = _sysbench_experiment(scale, machine_config)
+    config = standard_configs([ConfigName(spec.config)])[0]
+    return experiment.run(config, SysbenchFileRead(
+        file_pages=mib_pages(200 / scale), iterations=4))
+
+
+def assemble_ssd(sweep: Sweep,
+                 results: Mapping[str, RunResult]) -> FigureResult:
+    """Build the disk-technology ablation table from cells."""
+    scale = sweep.cells[0].scale
     rows: dict = {}
-    for disk_kind in ("hdd", "ssd"):
-        machine_config = MachineConfig(disk=DiskConfig(kind=disk_kind))
-        experiment = _sysbench_experiment(scale, machine_config)
-        for name in (ConfigName.BASELINE, ConfigName.VSWAPPER):
-            spec = standard_configs([name])[0]
-            result = experiment.run(spec, SysbenchFileRead(
-                file_pages=mib_pages(200 / scale), iterations=4))
-            rows[(disk_kind, name.value)] = {
-                "runtime": result.runtime,
-                "swap_sectors_written": result.counters.get(
-                    "swap_sectors_written"),
-            }
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
+        rows[cell.cell_id] = {
+            "runtime": result.runtime,
+            "swap_sectors_written": result.counters.get(
+                "swap_sectors_written"),
+        }
     table = Table(
         f"Ablation (scale=1/{scale}): disk technology (sysbench x4)",
         ["disk", "config", "runtime [s]", "swap sectors written"],
     )
-    for (disk_kind, config), row in rows.items():
-        table.add_row(disk_kind, config, round(row["runtime"], 1),
+    for cell in sweep.cells:
+        row = rows[cell.cell_id]
+        table.add_row(cell.params["disk_kind"], cell.config,
+                      round(row["runtime"], 1),
                       row["swap_sectors_written"])
     return FigureResult("ablation-ssd", rows, table.render())
 
 
-def run_preventer_param_ablation(
+def run_ssd_ablation(*, scale: int = 1, executor=None, store=None,
+                     resume: bool = False) -> FigureResult:
+    """Baseline vs VSwapper on HDD and on SSD swap devices."""
+    sweep = build_ssd_sweep(scale=scale)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_ssd(sweep, outcome.results), outcome, store)
+
+
+def _preventer_key(window: float, cap: int) -> str:
+    return f"{window * 1e3:g}ms/{cap}"
+
+
+def build_preventer_sweep(
     *,
     scale: int = 1,
-    windows: Sequence[float] = (0.25e-3, 1e-3, 4e-3),
-    caps: Sequence[int] = (8, 32, 128),
-) -> FigureResult:
-    """Sensitivity of the Preventer to its window and page cap."""
+    windows: Sequence[float] = DEFAULT_PREVENTER_WINDOWS,
+    caps: Sequence[int] = DEFAULT_PREVENTER_CAPS,
+) -> Sweep:
+    """Declare the window x cap sensitivity grid."""
+    faults = fault_params()
+    cells = tuple(
+        CellSpec(
+            experiment_id="ablation-preventer",
+            cell_id=_preventer_key(window, cap),
+            scale=scale,
+            config=ConfigName.VSWAPPER.value,
+            params={"window": window, "cap": cap},
+            faults=faults,
+        )
+        for window in windows
+        for cap in caps)
+    return Sweep("ablation-preventer", cells)
+
+
+def preventer_cell(spec: CellSpec) -> RunResult:
+    """Run sysbench-then-alloc under one (window, cap) Preventer."""
+    scale = spec.scale
+    vswapper = replace(
+        VSwapperConfig.full(),
+        preventer_window=spec.params["window"],
+        preventer_max_pages=spec.params["cap"],
+    )
+    config = ConfigSpec(ConfigName(spec.config), vswapper, False)
+    experiment = _sysbench_experiment(scale, MachineConfig(seed=spec.seed))
+    return experiment.run(config, SysbenchThenAlloc(
+        file_pages=mib_pages(200 / scale),
+        alloc_pages=mib_pages(200 / scale)))
+
+
+def assemble_preventer(sweep: Sweep,
+                       results: Mapping[str, RunResult]) -> FigureResult:
+    """Build the Preventer sensitivity table from cells."""
+    scale = sweep.cells[0].scale
     rows: dict = {}
-    for window in windows:
-        for cap in caps:
-            vswapper = replace(
-                VSwapperConfig.full(),
-                preventer_window=window,
-                preventer_max_pages=cap,
-            )
-            spec = ConfigSpec(ConfigName.VSWAPPER, vswapper, False)
-            experiment = _sysbench_experiment(scale)
-            result = experiment.run(spec, SysbenchThenAlloc(
-                file_pages=mib_pages(200 / scale),
-                alloc_pages=mib_pages(200 / scale)))
-            rows[(window, cap)] = {
-                "runtime": result.runtime,
-                "remaps": result.counters.get("preventer_remaps"),
-                "merges": result.counters.get("preventer_merges"),
-            }
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
+        rows[cell.cell_id] = {
+            "runtime": result.runtime,
+            "remaps": result.counters.get("preventer_remaps"),
+            "merges": result.counters.get("preventer_merges"),
+        }
     table = Table(
         f"Ablation (scale=1/{scale}): Preventer window/cap "
         f"(sysbench-then-alloc)",
         ["window [ms]", "page cap", "runtime [s]", "remaps", "merges"],
     )
-    for (window, cap), row in rows.items():
-        table.add_row(window * 1e3, cap, round(row["runtime"], 2),
+    for cell in sweep.cells:
+        row = rows[cell.cell_id]
+        table.add_row(cell.params["window"] * 1e3, cell.params["cap"],
+                      round(row["runtime"], 2),
                       row["remaps"], row["merges"])
     return FigureResult("ablation-preventer", rows, table.render())
 
 
-def run_cluster_ablation(
+def run_preventer_param_ablation(
     *,
     scale: int = 1,
-    clusters: Sequence[int] = (1, 4, 8, 16, 32),
+    windows: Sequence[float] = DEFAULT_PREVENTER_WINDOWS,
+    caps: Sequence[int] = DEFAULT_PREVENTER_CAPS,
+    executor=None, store=None, resume: bool = False,
 ) -> FigureResult:
-    """Swap readahead cluster size vs baseline decay."""
+    """Sensitivity of the Preventer to its window and page cap."""
+    sweep = build_preventer_sweep(scale=scale, windows=windows, caps=caps)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_preventer(sweep, outcome.results), outcome, store)
+
+
+def build_cluster_sweep(
+    *,
+    scale: int = 1,
+    clusters: Sequence[int] = DEFAULT_CLUSTERS,
+) -> Sweep:
+    """Declare one cell per swap-readahead cluster size."""
+    faults = fault_params()
+    cells = tuple(
+        CellSpec(
+            experiment_id="ablation-cluster",
+            cell_id=str(cluster),
+            scale=scale,
+            config=ConfigName.BASELINE.value,
+            params={"cluster": cluster},
+            faults=faults,
+        )
+        for cluster in clusters)
+    return Sweep("ablation-cluster", cells)
+
+
+def cluster_cell(spec: CellSpec) -> RunResult:
+    """Run baseline sysbench x4 with one readahead cluster size."""
+    scale = spec.scale
+    machine_config = MachineConfig(
+        seed=spec.seed,
+        host=HostConfig(swap_cluster_pages=spec.params["cluster"]))
+    experiment = _sysbench_experiment(scale, machine_config)
+    config = standard_configs([ConfigName(spec.config)])[0]
+    return experiment.run(config, SysbenchFileRead(
+        file_pages=mib_pages(200 / scale), iterations=4))
+
+
+def assemble_cluster(sweep: Sweep,
+                     results: Mapping[str, RunResult]) -> FigureResult:
+    """Build the cluster-size ablation table from cells."""
+    scale = sweep.cells[0].scale
     rows: dict = {}
-    for cluster in clusters:
-        machine_config = MachineConfig(
-            host=HostConfig(swap_cluster_pages=cluster))
-        experiment = _sysbench_experiment(scale, machine_config)
-        spec = standard_configs([ConfigName.BASELINE])[0]
-        result = experiment.run(spec, SysbenchFileRead(
-            file_pages=mib_pages(200 / scale), iterations=4))
-        rows[cluster] = {
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
+        rows[cell.cell_id] = {
             "runtime": result.runtime,
             "guest_faults": result.counters.get("guest_context_faults"),
             "swap_sectors_read": result.counters.get("swap_sectors_read"),
@@ -161,7 +322,22 @@ def run_cluster_ablation(
         ["cluster [pages]", "runtime [s]", "guest faults",
          "swap sectors read"],
     )
-    for cluster, row in rows.items():
-        table.add_row(cluster, round(row["runtime"], 1),
+    for cell in sweep.cells:
+        row = rows[cell.cell_id]
+        table.add_row(cell.params["cluster"], round(row["runtime"], 1),
                       row["guest_faults"], row["swap_sectors_read"])
     return FigureResult("ablation-cluster", rows, table.render())
+
+
+def run_cluster_ablation(
+    *,
+    scale: int = 1,
+    clusters: Sequence[int] = DEFAULT_CLUSTERS,
+    executor=None, store=None, resume: bool = False,
+) -> FigureResult:
+    """Swap readahead cluster size vs baseline decay."""
+    sweep = build_cluster_sweep(scale=scale, clusters=clusters)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_cluster(sweep, outcome.results), outcome, store)

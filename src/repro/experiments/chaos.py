@@ -9,13 +9,21 @@ invalidations.  Each cell must end in exactly one of three states --
 back to baseline swapping, run still finished), or *crashed* (a typed
 ReproError reported at the runner boundary) -- and no cell may ever
 observe stale page content.
+
+The full fault plan travels inside each :class:`~repro.exec.spec
+.CellSpec` (``spec.faults``), so a chaos cell replayed from the result
+store or in a worker process sees the exact same injections.
 """
 
 from __future__ import annotations
 
 from repro.config import FaultConfig, MachineConfig
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params, faults_from_params
 from repro.experiments.runner import (
+    ConfigName,
     FigureResult,
+    RunResult,
     SingleVmExperiment,
     scaled_guest_config,
     standard_configs,
@@ -37,25 +45,51 @@ FAULT_COUNTERS = (
 )
 
 
-def run_chaos(*, scale: int = 1, seed: int = 1,
-              fault_config: FaultConfig | None = None) -> FigureResult:
-    """Run the five standard configs under the seeded fault plan."""
+def build_chaos_sweep(*, scale: int = 1, seed: int = 1,
+                      fault_config: FaultConfig | None = None) -> Sweep:
+    """Declare the chaos grid: five configs under one fault plan."""
     faults = fault_config if fault_config is not None else FaultConfig.chaos()
+    cells = tuple(
+        CellSpec(
+            experiment_id="chaos",
+            cell_id=spec.name.value,
+            scale=scale,
+            config=spec.name.value,
+            seed=seed,
+            faults=fault_params(faults),
+        )
+        for spec in standard_configs())
+    return Sweep("chaos", cells)
+
+
+def chaos_cell(spec: CellSpec) -> RunResult:
+    """Run the Fig. 3 workload under one config and the fault plan."""
+    scale = spec.scale
     experiment = SingleVmExperiment(
         guest_mib=512 / scale,
         actual_mib=100 / scale,
         guest_config=scaled_guest_config(512, scale),
-        machine_config=MachineConfig(seed=seed, faults=faults),
+        machine_config=MachineConfig(
+            seed=spec.seed, faults=faults_from_params(spec.faults)),
         files=[("sysbench.dat", mib_pages(200 / scale))],
     )
+    config = standard_configs([ConfigName(spec.config)])[0]
+    workload = SysbenchFileRead(
+        file_pages=mib_pages(200 / scale), iterations=1)
+    return experiment.run(config, workload)
+
+
+def assemble_chaos(sweep: Sweep,
+                   results: dict[str, RunResult]) -> FigureResult:
+    """Build the chaos status table from cells."""
+    scale = sweep.cells[0].scale
+    seed = sweep.cells[0].seed
     series: dict = {}
-    for spec in standard_configs():
-        workload = SysbenchFileRead(
-            file_pages=mib_pages(200 / scale), iterations=1)
-        result = experiment.run(spec, workload)
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
         injected = {name: result.counters.get(name, 0)
                     for name in FAULT_COUNTERS}
-        series[spec.name.value] = {
+        series[cell.config] = {
             "status": result.status,
             "runtime": result.runtime,
             "crash_reason": result.crash_reason,
@@ -81,3 +115,16 @@ def run_chaos(*, scale: int = 1, seed: int = 1,
             cell["crash_reason"] or "",
         )
     return FigureResult("chaos", series, table.render())
+
+
+def run_chaos(*, scale: int = 1, seed: int = 1,
+              fault_config: FaultConfig | None = None,
+              executor=None, store=None,
+              resume: bool = False) -> FigureResult:
+    """Run the five standard configs under the seeded fault plan."""
+    sweep = build_chaos_sweep(scale=scale, seed=seed,
+                              fault_config=fault_config)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_chaos(sweep, outcome.results), outcome, store)

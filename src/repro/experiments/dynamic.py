@@ -6,21 +6,35 @@ polling control loop, so balloon configurations lean on uncooperative
 swapping exactly when memory is scarcest.  The paper's headline: with
 VSwapper the average completion time is up to ~2x better than
 balloon-plus-baseline, and combining both is best overall.
+
+Both CLI ids (``fig4``, ``fig14``) declare cells under the harness id
+``dynamic``: Figure 4 is Figure 14's ten-guest column, so with a
+result store the bar chart comes for free after the full grid.
+
+Each cell folds its :class:`DynamicResult` into a ``RunResult``:
+``runtime`` is the average completion time (``None`` when every guest
+was killed -- JSON has no NaN), ``counters`` carry ``oom_kills`` and
+``guests_completed``, and one ``guest-runtime`` phase mark records
+each finisher.  Figure 14 series are keyed ``series[config][str(n)]``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.balloon.manager import BalloonManager, ManagerConfig
 from repro.balloon.policy import BalloonPolicy
 from repro.config import HostConfig, MachineConfig, VmConfig
 from repro.driver import VmDriver
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params
 from repro.experiments.runner import (
     ConfigName,
     ConfigSpec,
     FigureResult,
+    PhaseMark,
+    RunResult,
     scaled_guest_config,
     standard_configs,
 )
@@ -32,6 +46,14 @@ from repro.workloads.mapreduce import MetisMapReduce
 FIG14_CONFIGS = (
     ConfigName.BALLOON_BASELINE,
     ConfigName.BASELINE,
+    ConfigName.VSWAPPER,
+    ConfigName.BALLOON_VSWAPPER,
+)
+
+#: Figure 4's bar order (the ten-guest column of Figure 14).
+FIG04_CONFIGS = (
+    ConfigName.BASELINE,
+    ConfigName.BALLOON_BASELINE,
     ConfigName.VSWAPPER,
     ConfigName.BALLOON_VSWAPPER,
 )
@@ -67,9 +89,11 @@ def make_mapreduce(scale: int, seed: int) -> MetisMapReduce:
 def run_phased(spec: ConfigSpec, *, num_guests: int, scale: int = 1,
                stagger_seconds: float = 10.0,
                host_mib: float = 8192,
-               guest_mib: float = 2048) -> DynamicResult:
+               guest_mib: float = 2048,
+               seed: int = 1) -> DynamicResult:
     """Run ``num_guests`` phased MapReduce guests under one config."""
     machine = Machine(MachineConfig(
+        seed=seed,
         host=HostConfig(
             total_memory_pages=mib_pages(host_mib / scale),
             swap_size_pages=mib_pages(16 * 1024 / scale),
@@ -113,21 +137,89 @@ def run_phased(spec: ConfigSpec, *, num_guests: int, scale: int = 1,
     return DynamicResult(spec.name, runtimes, crashes)
 
 
-def run_fig14(
+def _dynamic_cells(config_names: Sequence[ConfigName],
+                   guest_counts: Sequence[int], *, scale: int,
+                   stagger_seconds: float = 10.0,
+                   host_mib: float = 8192,
+                   guest_mib: float = 2048) -> tuple[CellSpec, ...]:
+    faults = fault_params()
+    return tuple(
+        CellSpec(
+            experiment_id="dynamic",
+            cell_id=f"{name.value}@{n}",
+            scale=scale,
+            config=name.value,
+            params={
+                "num_guests": n,
+                "stagger_seconds": stagger_seconds,
+                "host_mib": host_mib,
+                "guest_mib": guest_mib,
+            },
+            faults=faults,
+        )
+        for name in config_names
+        for n in guest_counts)
+
+
+def build_fig14_sweep(
     *,
     scale: int = 1,
     guest_counts: Sequence[int] = tuple(range(1, 11)),
     config_names: Sequence[ConfigName] = FIG14_CONFIGS,
-) -> FigureResult:
-    """Regenerate Figure 14: average runtime vs number of guests."""
-    series: dict = {name.value: {} for name in config_names}
-    for spec in standard_configs(config_names):
-        for n in guest_counts:
-            outcome = run_phased(spec, num_guests=n, scale=scale)
-            series[spec.name.value][n] = {
-                "average_runtime": outcome.average_runtime,
-                "crashes": outcome.crashes,
-            }
+) -> Sweep:
+    """Declare Figure 14's grid: configuration x guest count."""
+    return Sweep("dynamic",
+                 _dynamic_cells(config_names, guest_counts, scale=scale))
+
+
+def build_fig04_sweep(*, scale: int = 1, num_guests: int = 10) -> Sweep:
+    """Declare Figure 4: the four-bar, ``num_guests``-guest column."""
+    return Sweep("dynamic",
+                 _dynamic_cells(FIG04_CONFIGS, (num_guests,), scale=scale))
+
+
+def dynamic_cell(spec: CellSpec) -> RunResult:
+    """Run one phased multi-guest cell and fold it into a RunResult."""
+    config = standard_configs([ConfigName(spec.config)])[0]
+    outcome = run_phased(
+        config,
+        num_guests=spec.params["num_guests"],
+        scale=spec.scale,
+        stagger_seconds=spec.params["stagger_seconds"],
+        host_mib=spec.params["host_mib"],
+        guest_mib=spec.params["guest_mib"],
+        seed=spec.seed,
+    )
+    runtime = (sum(outcome.runtimes) / len(outcome.runtimes)
+               if outcome.runtimes else None)
+    phases = [PhaseMark("guest-runtime", {"runtime": r}, r)
+              for r in outcome.runtimes]
+    return RunResult(
+        config=config.name,
+        runtime=runtime,
+        crashed=False,
+        counters={"oom_kills": outcome.crashes,
+                  "guests_completed": len(outcome.runtimes)},
+        phases=phases,
+    )
+
+
+def _cell_row(result: RunResult) -> dict:
+    return {
+        "average_runtime": result.runtime,
+        "crashes": result.counters["oom_kills"],
+    }
+
+
+def assemble_fig14(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build Figure 14's runtime-vs-guests table from cells."""
+    scale = sweep.cells[0].scale
+    series: dict = {}
+    for cell in sweep.cells:
+        series.setdefault(cell.config, {})[
+            str(cell.params["num_guests"])] = _cell_row(
+                results[cell.cell_id])
 
     table = Table(
         f"Figure 14 (scale=1/{scale}): phased MapReduce guests, average "
@@ -136,32 +228,57 @@ def run_fig14(
     )
     for config, by_n in series.items():
         for n, row in by_n.items():
-            table.add_row(config, n, round(row["average_runtime"], 1),
+            runtime = row["average_runtime"]
+            table.add_row(config, n,
+                          "-" if runtime is None else round(runtime, 1),
                           row["crashes"])
     return FigureResult("fig14", series, table.render())
 
 
-def run_fig04(*, scale: int = 1, num_guests: int = 10) -> FigureResult:
-    """Regenerate Figure 4: the ten-guest bar chart."""
-    order = (
-        ConfigName.BASELINE,
-        ConfigName.BALLOON_BASELINE,
-        ConfigName.VSWAPPER,
-        ConfigName.BALLOON_VSWAPPER,
-    )
-    series: dict = {}
-    for spec in standard_configs(order):
-        outcome = run_phased(spec, num_guests=num_guests, scale=scale)
-        series[spec.name.value] = {
-            "average_runtime": outcome.average_runtime,
-            "crashes": outcome.crashes,
-        }
+def assemble_fig04(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build Figure 4's bar table from cells."""
+    scale = sweep.cells[0].scale
+    num_guests = sweep.cells[0].params["num_guests"]
+    series: dict = {
+        cell.config: _cell_row(results[cell.cell_id])
+        for cell in sweep.cells
+    }
     table = Table(
         f"Figure 4 (scale=1/{scale}): {num_guests} phased MapReduce "
         f"guests, average completion time",
         ["config", "avg runtime [s]", "oom kills"],
     )
     for config, row in series.items():
-        table.add_row(config, round(row["average_runtime"], 1),
+        runtime = row["average_runtime"]
+        table.add_row(config,
+                      "-" if runtime is None else round(runtime, 1),
                       row["crashes"])
     return FigureResult("fig04", series, table.render())
+
+
+def run_fig14(
+    *,
+    scale: int = 1,
+    guest_counts: Sequence[int] = tuple(range(1, 11)),
+    config_names: Sequence[ConfigName] = FIG14_CONFIGS,
+    executor=None, store=None, resume: bool = False,
+) -> FigureResult:
+    """Regenerate Figure 14: average runtime vs number of guests."""
+    sweep = build_fig14_sweep(
+        scale=scale, guest_counts=guest_counts, config_names=config_names)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_fig14(sweep, outcome.results), outcome, store)
+
+
+def run_fig04(*, scale: int = 1, num_guests: int = 10,
+              executor=None, store=None,
+              resume: bool = False) -> FigureResult:
+    """Regenerate Figure 4: the ten-guest bar chart."""
+    sweep = build_fig04_sweep(scale=scale, num_guests=num_guests)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_fig04(sweep, outcome.results), outcome, store)

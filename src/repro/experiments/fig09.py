@@ -11,17 +11,22 @@ it has 512 MB but actually has 100 MB.  Four panels per iteration:
 (d) sectors written to the host swap area -- silent swap writes,
     roughly constant per iteration for the baseline.
 
-Figure 3 is this experiment's first iteration, so :func:`run_fig03`
-reuses the same harness.
+Figure 3 is this experiment's first iteration, so both figures share
+one cell runner: each declares a :class:`~repro.exec.spec.Sweep` of
+one cell per configuration and assembles its table from the cells.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
+from repro.config import MachineConfig
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params, sweep_from_configs
 from repro.experiments.runner import (
     ConfigName,
     FigureResult,
+    RunResult,
     SingleVmExperiment,
     scaled_guest_config,
     standard_configs,
@@ -46,22 +51,48 @@ FIG03_CONFIGS = (
 )
 
 
-def run_fig09(*, scale: int = 1, iterations: int = 8,
-              config_names: Sequence[ConfigName] = FIG09_CONFIGS,
-              ) -> FigureResult:
-    """Regenerate Figure 9's four panels."""
+def build_fig09_sweep(*, scale: int = 1, iterations: int = 8,
+                      config_names: Sequence[ConfigName] = FIG09_CONFIGS,
+                      ) -> Sweep:
+    """Declare Figure 9's grid: one cell per configuration."""
+    return sweep_from_configs(
+        "fig09", config_names, scale=scale,
+        params={"iterations": iterations}, faults=fault_params())
+
+
+def build_fig03_sweep(*, scale: int = 1) -> Sweep:
+    """Declare Figure 3's grid: four configs, one iteration each."""
+    return sweep_from_configs(
+        "fig09", FIG03_CONFIGS, scale=scale,
+        params={"iterations": 1}, faults=fault_params())
+
+
+def fig09_cell(spec: CellSpec) -> RunResult:
+    """Run one (configuration, iterations) cell of Figure 9/Figure 3."""
+    scale = spec.scale
     experiment = SingleVmExperiment(
         guest_mib=512 / scale,
         actual_mib=100 / scale,
+        machine_config=MachineConfig(seed=spec.seed),
         guest_config=scaled_guest_config(512, scale),
         files=[("sysbench.dat", mib_pages(200 / scale))],
     )
+    config = standard_configs([ConfigName(spec.config)])[0]
+    workload = SysbenchFileRead(
+        file_pages=mib_pages(200 / scale),
+        iterations=spec.params["iterations"])
+    return experiment.run(config, workload)
+
+
+def assemble_fig09(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build Figure 9's four panels from executed cells."""
+    scale = sweep.cells[0].scale
+    iterations = sweep.cells[0].params["iterations"]
     series: dict = {}
-    for spec in standard_configs(config_names):
-        workload = SysbenchFileRead(
-            file_pages=mib_pages(200 / scale), iterations=iterations)
-        result = experiment.run(spec, workload)
-        series[spec.name.value] = {
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
+        series[cell.config] = {
             "runtime": result.iteration_durations(),
             "host_faults": result.iteration_counter_deltas(
                 "host_context_faults"),
@@ -97,21 +128,14 @@ def run_fig09(*, scale: int = 1, iterations: int = 8,
     return FigureResult("fig09", series, table.render())
 
 
-def run_fig03(*, scale: int = 1) -> FigureResult:
-    """Regenerate Figure 3: first-iteration read time, four configs."""
-    experiment = SingleVmExperiment(
-        guest_mib=512 / scale,
-        actual_mib=100 / scale,
-        guest_config=scaled_guest_config(512, scale),
-        files=[("sysbench.dat", mib_pages(200 / scale))],
-    )
+def assemble_fig03(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build Figure 3's single-bar-per-config table from cells."""
+    scale = sweep.cells[0].scale
     series: dict = {}
-    for spec in standard_configs(FIG03_CONFIGS):
-        workload = SysbenchFileRead(
-            file_pages=mib_pages(200 / scale), iterations=1)
-        result = experiment.run(spec, workload)
-        durations = result.iteration_durations()
-        series[spec.name.value] = durations[0] if durations else None
+    for cell in sweep.cells:
+        durations = results[cell.cell_id].iteration_durations()
+        series[cell.config] = durations[0] if durations else None
 
     table = Table(
         f"Figure 3 (scale=1/{scale}): time to sequentially read a 200MB "
@@ -122,3 +146,26 @@ def run_fig03(*, scale: int = 1) -> FigureResult:
         table.add_row(config, "crashed" if runtime is None
                       else round(runtime, 2))
     return FigureResult("fig03", series, table.render())
+
+
+def run_fig09(*, scale: int = 1, iterations: int = 8,
+              config_names: Sequence[ConfigName] = FIG09_CONFIGS,
+              executor=None, store=None, resume: bool = False,
+              ) -> FigureResult:
+    """Regenerate Figure 9's four panels."""
+    sweep = build_fig09_sweep(
+        scale=scale, iterations=iterations, config_names=config_names)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_fig09(sweep, outcome.results), outcome, store)
+
+
+def run_fig03(*, scale: int = 1, executor=None, store=None,
+              resume: bool = False) -> FigureResult:
+    """Regenerate Figure 3: first-iteration read time, four configs."""
+    sweep = build_fig03_sweep(scale=scale)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_fig03(sweep, outcome.results), outcome, store)

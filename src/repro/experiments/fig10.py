@@ -10,9 +10,15 @@ full vswapper, and balloon+baseline (which crashes: over-ballooning).
 
 from __future__ import annotations
 
+from typing import Mapping
+
+from repro.config import MachineConfig
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params, sweep_from_configs
 from repro.experiments.runner import (
     ConfigName,
     FigureResult,
+    RunResult,
     SingleVmExperiment,
     scaled_guest_config,
     standard_configs,
@@ -29,48 +35,63 @@ FIG10_CONFIGS = (
 )
 
 
-def run_fig10(*, scale: int = 1) -> FigureResult:
-    """Regenerate Figure 10: alloc-phase runtime and disk operations."""
+def build_fig10_sweep(*, scale: int = 1) -> Sweep:
+    """Declare Figure 10's grid: one cell per configuration."""
+    return sweep_from_configs(
+        "fig10", FIG10_CONFIGS, scale=scale, faults=fault_params())
+
+
+def fig10_cell(spec: CellSpec) -> RunResult:
+    """Run the sysbench-then-alloc workload under one configuration."""
+    scale = spec.scale
     experiment = SingleVmExperiment(
         guest_mib=512 / scale,
         actual_mib=100 / scale,
+        machine_config=MachineConfig(seed=spec.seed),
         guest_config=scaled_guest_config(512, scale),
         files=[("sysbench.dat", mib_pages(200 / scale))],
     )
-    series: dict = {}
-    for spec in standard_configs(FIG10_CONFIGS):
-        workload = SysbenchThenAlloc(
-            file_pages=mib_pages(200 / scale),
-            alloc_pages=mib_pages(200 / scale),
-        )
-        result = experiment.run(spec, workload)
-        if result.crashed:
-            series[spec.name.value] = {
-                "runtime": None, "disk_ops": None, "crashed": True,
-                "false_reads": None, "preventer_remaps": None,
-            }
-            continue
+    config = standard_configs([ConfigName(spec.config)])[0]
+    workload = SysbenchThenAlloc(
+        file_pages=mib_pages(200 / scale),
+        alloc_pages=mib_pages(200 / scale),
+    )
+    return experiment.run(config, workload)
+
+
+def _alloc_phase_row(result: RunResult) -> dict:
+    if not result.crashed:
         starts = [p for p in result.phases if p.name == "alloc-start"]
         ends = [p for p in result.phases if p.name == "alloc-end"]
-        if not starts or not ends:
-            # The allocator OOM-crashed mid-phase.
-            series[spec.name.value] = {
-                "runtime": None, "disk_ops": None, "crashed": True,
-                "false_reads": None, "preventer_remaps": None,
+        if starts and ends:
+            start, end = starts[0], ends[0]
+            return {
+                "runtime": end.time - start.time,
+                "disk_ops": (end.counters.get("disk_ops", 0)
+                             - start.counters.get("disk_ops", 0)),
+                "false_reads": (end.counters.get("false_reads", 0)
+                                - start.counters.get("false_reads", 0)),
+                "preventer_remaps": (
+                    end.counters.get("preventer_remaps", 0)
+                    - start.counters.get("preventer_remaps", 0)),
+                "crashed": False,
             }
-            continue
-        start, end = starts[0], ends[0]
-        series[spec.name.value] = {
-            "runtime": end.time - start.time,
-            "disk_ops": (end.counters.get("disk_ops", 0)
-                         - start.counters.get("disk_ops", 0)),
-            "false_reads": (end.counters.get("false_reads", 0)
-                            - start.counters.get("false_reads", 0)),
-            "preventer_remaps": (
-                end.counters.get("preventer_remaps", 0)
-                - start.counters.get("preventer_remaps", 0)),
-            "crashed": False,
-        }
+    # Either the run crashed outright or the allocator OOM-crashed
+    # mid-phase (no alloc-end mark).
+    return {
+        "runtime": None, "disk_ops": None, "crashed": True,
+        "false_reads": None, "preventer_remaps": None,
+    }
+
+
+def assemble_fig10(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build Figure 10's alloc-phase table from cells."""
+    scale = sweep.cells[0].scale
+    series: dict = {
+        cell.config: _alloc_phase_row(results[cell.cell_id])
+        for cell in sweep.cells
+    }
 
     table = Table(
         f"Figure 10 (scale=1/{scale}): allocate-and-access 200MB after "
@@ -86,3 +107,13 @@ def run_fig10(*, scale: int = 1) -> FigureResult:
                           row["disk_ops"], row["false_reads"],
                           row["preventer_remaps"])
     return FigureResult("fig10", series, table.render())
+
+
+def run_fig10(*, scale: int = 1, executor=None, store=None,
+              resume: bool = False) -> FigureResult:
+    """Regenerate Figure 10: alloc-phase runtime and disk operations."""
+    sweep = build_fig10_sweep(scale=scale)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_fig10(sweep, outcome.results), outcome, store)

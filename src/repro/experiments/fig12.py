@@ -6,15 +6,21 @@ ballooning by ~4-5 %.  Panel (b) counts the Preventer's remaps: the
 compile farm's process churn recycles host-swapped frames, and each
 whole-page overwrite the Preventer catches saves a false read (up to
 ~80 K on the paper's testbed).
+
+Series are keyed ``series[config][str(actual_mib)]`` (JSON-safe).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
+from repro.config import MachineConfig
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params
 from repro.experiments.runner import (
     ConfigName,
     FigureResult,
+    RunResult,
     SingleVmExperiment,
     scaled_guest_config,
     standard_configs,
@@ -44,34 +50,61 @@ def make_kernbench(scale: int) -> Kernbench:
     )
 
 
-def run_fig12(
+def build_fig12_sweep(
     *,
     scale: int = 1,
     memory_sweep_mib: Sequence[int] = DEFAULT_MEMORY_SWEEP,
     config_names: Sequence[ConfigName] = FIG12_CONFIGS,
-) -> FigureResult:
-    """Regenerate Figure 12: runtime (a) and preventer remaps (b)."""
-    series: dict = {name.value: {} for name in config_names}
-    for actual_mib in memory_sweep_mib:
-        workload_probe = make_kernbench(scale)
-        experiment = SingleVmExperiment(
-            guest_mib=512 / scale,
-            actual_mib=actual_mib / scale,
-            guest_config=scaled_guest_config(512, scale),
-            files=[
-                ("kernel-src", workload_probe.source_pages),
-                ("kernel-obj", workload_probe.object_file_pages()),
-            ],
+) -> Sweep:
+    """Declare the grid: configuration x actual-memory grant."""
+    faults = fault_params()
+    cells = tuple(
+        CellSpec(
+            experiment_id="fig12",
+            cell_id=f"{spec.name.value}@{actual_mib}MiB",
+            scale=scale,
+            config=spec.name.value,
+            params={"actual_mib": actual_mib},
+            faults=faults,
         )
-        for spec in standard_configs(config_names):
-            result = experiment.run(spec, make_kernbench(scale))
-            series[spec.name.value][actual_mib] = {
-                "runtime": result.runtime,
-                "crashed": result.crashed,
-                "preventer_remaps": result.counters.get("preventer_remaps"),
-                "false_reads": result.counters.get("false_reads"),
-                "guest_faults": result.counters.get("guest_context_faults"),
-            }
+        for spec in standard_configs(config_names)
+        for actual_mib in memory_sweep_mib)
+    return Sweep("fig12", cells)
+
+
+def fig12_cell(spec: CellSpec) -> RunResult:
+    """Run Kernbench under one (configuration, grant) cell."""
+    scale = spec.scale
+    actual_mib = spec.params["actual_mib"]
+    workload_probe = make_kernbench(scale)
+    experiment = SingleVmExperiment(
+        guest_mib=512 / scale,
+        actual_mib=actual_mib / scale,
+        machine_config=MachineConfig(seed=spec.seed),
+        guest_config=scaled_guest_config(512, scale),
+        files=[
+            ("kernel-src", workload_probe.source_pages),
+            ("kernel-obj", workload_probe.object_file_pages()),
+        ],
+    )
+    config = standard_configs([ConfigName(spec.config)])[0]
+    return experiment.run(config, make_kernbench(scale))
+
+
+def assemble_fig12(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build Figure 12's panels (a) and (b) from cells."""
+    scale = sweep.cells[0].scale
+    series: dict = {}
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
+        series.setdefault(cell.config, {})[str(cell.params["actual_mib"])] = {
+            "runtime": result.runtime,
+            "crashed": result.crashed,
+            "preventer_remaps": result.counters.get("preventer_remaps"),
+            "false_reads": result.counters.get("false_reads"),
+            "guest_faults": result.counters.get("guest_context_faults"),
+        }
 
     table = Table(
         f"Figure 12 (scale=1/{scale}): Kernbench vs actual memory "
@@ -87,3 +120,20 @@ def run_fig12(
                 table.add_row(config, actual_mib, round(row["runtime"], 1),
                               row["preventer_remaps"], row["false_reads"])
     return FigureResult("fig12", series, table.render())
+
+
+def run_fig12(
+    *,
+    scale: int = 1,
+    memory_sweep_mib: Sequence[int] = DEFAULT_MEMORY_SWEEP,
+    config_names: Sequence[ConfigName] = FIG12_CONFIGS,
+    executor=None, store=None, resume: bool = False,
+) -> FigureResult:
+    """Regenerate Figure 12: runtime (a) and preventer remaps (b)."""
+    sweep = build_fig12_sweep(
+        scale=scale, memory_sweep_mib=memory_sweep_mib,
+        config_names=config_names)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_fig12(sweep, outcome.results), outcome, store)

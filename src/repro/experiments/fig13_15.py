@@ -7,13 +7,21 @@ the guest kills Eclipse once the grant drops below its footprint.
 
 Figure 15 samples, over time, the guest page cache size (total and
 excluding dirty pages) against the number of pages the Swap Mapper
-tracks: the tracked set should ride the clean-cache curve.
+tracks: the tracked set should ride the clean-cache curve.  Its single
+cell carries the sampled :class:`~repro.metrics.timeline.Timeline`
+inside the ``RunResult``, which the exec layer freezes (gauges dropped)
+so it crosses process and storage boundaries intact.
+
+Figure 13 series are keyed ``series[config][str(actual_mib)]``.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
+from repro.config import MachineConfig
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params
 from repro.experiments.runner import (
     ConfigName,
     FigureResult,
@@ -48,33 +56,59 @@ def make_eclipse(scale: int) -> EclipseWorkload:
     )
 
 
-def _experiment(scale: int, actual_mib: float,
+def _experiment(scale: int, actual_mib: float, seed: int = 1,
                 sample_interval: float | None = None) -> SingleVmExperiment:
     return SingleVmExperiment(
         guest_mib=512 / scale,
         actual_mib=actual_mib / scale,
+        machine_config=MachineConfig(seed=seed),
         guest_config=scaled_guest_config(512, scale),
         files=[("eclipse-workspace", mib_pages(160 / scale))],
         sample_interval=sample_interval,
     )
 
 
-def run_fig13(
+def build_fig13_sweep(
     *,
     scale: int = 1,
     memory_sweep_mib: Sequence[int] = DEFAULT_MEMORY_SWEEP,
     config_names: Sequence[ConfigName] = FIG13_CONFIGS,
-) -> FigureResult:
-    """Regenerate Figure 13: Eclipse runtime vs memory limit."""
-    series: dict = {name.value: {} for name in config_names}
-    for actual_mib in memory_sweep_mib:
-        experiment = _experiment(scale, actual_mib)
-        for spec in standard_configs(config_names):
-            result = experiment.run(spec, make_eclipse(scale))
-            series[spec.name.value][actual_mib] = {
-                "runtime": result.runtime,
-                "crashed": result.crashed,
-            }
+) -> Sweep:
+    """Declare the grid: configuration x actual-memory grant."""
+    faults = fault_params()
+    cells = tuple(
+        CellSpec(
+            experiment_id="fig13",
+            cell_id=f"{spec.name.value}@{actual_mib}MiB",
+            scale=scale,
+            config=spec.name.value,
+            params={"actual_mib": actual_mib},
+            faults=faults,
+        )
+        for spec in standard_configs(config_names)
+        for actual_mib in memory_sweep_mib)
+    return Sweep("fig13", cells)
+
+
+def fig13_cell(spec: CellSpec) -> RunResult:
+    """Run Eclipse under one (configuration, grant) cell."""
+    experiment = _experiment(
+        spec.scale, spec.params["actual_mib"], seed=spec.seed)
+    config = standard_configs([ConfigName(spec.config)])[0]
+    return experiment.run(config, make_eclipse(spec.scale))
+
+
+def assemble_fig13(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build Figure 13's runtime-vs-limit table from cells."""
+    scale = sweep.cells[0].scale
+    series: dict = {}
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
+        series.setdefault(cell.config, {})[str(cell.params["actual_mib"])] = {
+            "runtime": result.runtime,
+            "crashed": result.crashed,
+        }
 
     table = Table(
         f"Figure 13 (scale=1/{scale}): Eclipse (DaCapo) vs memory limit",
@@ -89,14 +123,54 @@ def run_fig13(
     return FigureResult("fig13", series, table.render())
 
 
-def run_fig15(*, scale: int = 1, actual_mib: float = 320,
-              sample_interval: float = 2.0) -> FigureResult:
-    """Regenerate Figure 15: Mapper tracking vs guest page cache."""
+def run_fig13(
+    *,
+    scale: int = 1,
+    memory_sweep_mib: Sequence[int] = DEFAULT_MEMORY_SWEEP,
+    config_names: Sequence[ConfigName] = FIG13_CONFIGS,
+    executor=None, store=None, resume: bool = False,
+) -> FigureResult:
+    """Regenerate Figure 13: Eclipse runtime vs memory limit."""
+    sweep = build_fig13_sweep(
+        scale=scale, memory_sweep_mib=memory_sweep_mib,
+        config_names=config_names)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_fig13(sweep, outcome.results), outcome, store)
+
+
+def build_fig15_sweep(*, scale: int = 1, actual_mib: float = 320,
+                      sample_interval: float = 2.0) -> Sweep:
+    """Declare Figure 15's single sampled-timeline cell."""
+    cell = CellSpec(
+        experiment_id="fig15",
+        cell_id=f"{ConfigName.VSWAPPER.value}@{actual_mib:g}MiB",
+        scale=scale,
+        config=ConfigName.VSWAPPER.value,
+        params={"actual_mib": actual_mib,
+                "sample_interval": sample_interval},
+        faults=fault_params(),
+    )
+    return Sweep("fig15", (cell,))
+
+
+def fig15_cell(spec: CellSpec) -> RunResult:
+    """Run the sampled Eclipse cell (timeline attached)."""
+    scale = spec.scale
     experiment = _experiment(
-        scale, actual_mib, sample_interval=sample_interval / scale)
-    spec = standard_configs([ConfigName.VSWAPPER])[0]
-    result: RunResult = experiment.run(spec, make_eclipse(scale))
-    timeline = result.timeline
+        scale, spec.params["actual_mib"], seed=spec.seed,
+        sample_interval=spec.params["sample_interval"] / scale)
+    config = standard_configs([ConfigName(spec.config)])[0]
+    return experiment.run(config, make_eclipse(scale))
+
+
+def assemble_fig15(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build Figure 15's tracked-vs-cache table from the sampled cell."""
+    cell = sweep.cells[0]
+    scale = cell.scale
+    timeline = results[cell.cell_id].timeline
     times, cache = timeline.series("guest_page_cache")
     _t2, clean = timeline.series("guest_page_cache_clean")
     _t3, tracked = timeline.series("mapper_tracked")
@@ -116,3 +190,17 @@ def run_fig15(*, scale: int = 1, actual_mib: float = 320,
         "mapper_tracked": tracked,
     }
     return FigureResult("fig15", series, table.render())
+
+
+def run_fig15(*, scale: int = 1, actual_mib: float = 320,
+              sample_interval: float = 2.0,
+              executor=None, store=None, resume: bool = False,
+              ) -> FigureResult:
+    """Regenerate Figure 15: Mapper tracking vs guest page cache."""
+    sweep = build_fig15_sweep(
+        scale=scale, actual_mib=actual_mib,
+        sample_interval=sample_interval)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_fig15(sweep, outcome.results), outcome, store)

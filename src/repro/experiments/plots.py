@@ -13,7 +13,8 @@ def _fig03_chart(result: FigureResult) -> str:
 
 def _fig04_chart(result: FigureResult) -> str:
     return ascii_bars(
-        {k: v["average_runtime"] for k, v in result.series.items()},
+        {k: v["average_runtime"] for k, v in result.series.items()
+         if v["average_runtime"] is not None},
         title="Figure 4 average completion time", unit="s")
 
 
@@ -37,7 +38,8 @@ def _sweep_chart(result: FigureResult, title: str) -> str:
 
 def _fig14_chart(result: FigureResult) -> str:
     series = {
-        config: [row["average_runtime"] for row in by_n.values()]
+        config: [row["average_runtime"] for row in by_n.values()
+                 if row["average_runtime"] is not None]
         for config, by_n in result.series.items()
     }
     return ascii_chart(series, title="Figure 14 avg runtime vs guests",

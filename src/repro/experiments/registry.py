@@ -2,76 +2,236 @@
 
 The CLI and the benchmark suite both resolve experiments through this
 table, so the set of reproducible results lives in exactly one place.
+
+Two tables live here:
+
+* :data:`EXPERIMENTS` -- CLI experiment id -> :class:`ExperimentDef`
+  (description, harness, sweep declaration).  Several CLI ids share a
+  harness: ``fig5``/``fig11`` regenerate from one pbzip2 sweep,
+  ``fig4`` is ``fig14``'s ten-guest column, ``fig3`` is ``fig9``'s
+  first iteration.
+* :data:`CELL_RUNNERS` -- sweep harness id -> picklable cell runner.
+  The executor resolves runners here (by ``CellSpec.experiment_id``)
+  so worker processes rebuild each cell from its spec alone.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ExperimentError
+from repro.exec.spec import CellSpec, Sweep
 from repro.experiments.ablations import (
+    build_cluster_sweep,
+    build_dirty_bit_sweep,
+    build_preventer_sweep,
+    build_ssd_sweep,
+    cluster_cell,
+    dirty_bit_cell,
+    preventer_cell,
     run_cluster_ablation,
     run_dirty_bit_ablation,
     run_preventer_param_ablation,
     run_ssd_ablation,
+    ssd_cell,
 )
-from repro.experiments.chaos import run_chaos
-from repro.experiments.dynamic import run_fig04, run_fig14
-from repro.experiments.migration import run_migration_study
-from repro.experiments.fig05_11 import run_fig05_fig11
-from repro.experiments.fig09 import run_fig03, run_fig09
-from repro.experiments.fig10 import run_fig10
-from repro.experiments.fig12 import run_fig12
-from repro.experiments.fig13_15 import run_fig13, run_fig15
-from repro.experiments.runner import FigureResult
-from repro.experiments.sec53 import run_sec53
-from repro.experiments.sec54 import run_sec54
+from repro.experiments.chaos import build_chaos_sweep, chaos_cell, run_chaos
+from repro.experiments.dynamic import (
+    build_fig04_sweep,
+    build_fig14_sweep,
+    dynamic_cell,
+    run_fig04,
+    run_fig14,
+)
+from repro.experiments.migration import (
+    build_migration_sweep,
+    migration_cell,
+    run_migration_study,
+)
+from repro.experiments.fig05_11 import (
+    build_fig05_fig11_sweep,
+    fig05_fig11_cell,
+    run_fig05_fig11,
+)
+from repro.experiments.fig09 import (
+    build_fig03_sweep,
+    build_fig09_sweep,
+    fig09_cell,
+    run_fig03,
+    run_fig09,
+)
+from repro.experiments.fig10 import build_fig10_sweep, fig10_cell, run_fig10
+from repro.experiments.fig12 import build_fig12_sweep, fig12_cell, run_fig12
+from repro.experiments.fig13_15 import (
+    build_fig13_sweep,
+    build_fig15_sweep,
+    fig13_cell,
+    fig15_cell,
+    run_fig13,
+    run_fig15,
+)
+from repro.experiments.runner import FigureResult, RunResult
+from repro.experiments.sec53 import build_sec53_sweep, run_sec53, sec53_cell
+from repro.experiments.sec54 import build_sec54_sweep, run_sec54, sec54_cell
 from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
+from repro.experiments.table2 import build_table2_sweep, run_table2, table2_cell
 
-#: Experiment id -> harness.  All harnesses accept ``scale`` except
-#: Table 1 (pure static analysis).
-EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
-    "fig3": run_fig03,
-    "fig4": run_fig04,
-    "fig5": run_fig05_fig11,   # Figure 5 and Figure 11 share a run
-    "fig9": run_fig09,
-    "fig10": run_fig10,
-    "fig11": run_fig05_fig11,
-    "fig12": run_fig12,
-    "fig13": run_fig13,
-    "fig14": run_fig14,
-    "fig15": run_fig15,
-    "table1": run_table1,
-    "table2": run_table2,
-    "sec5.3": run_sec53,
-    "sec5.4": run_sec54,
-    "ablation-dirty-bit": run_dirty_bit_ablation,
-    "ablation-ssd": run_ssd_ablation,
-    "ablation-preventer": run_preventer_param_ablation,
-    "ablation-cluster": run_cluster_ablation,
-    "migration-study": run_migration_study,
-    "chaos": run_chaos,
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One CLI-visible experiment: metadata plus its harness."""
+
+    experiment_id: str
+    description: str
+    harness: Callable[..., FigureResult]
+    #: Declares the experiment's cells (``scale`` keyword); None for
+    #: cell-less static results (Table 1).
+    build_sweep: Callable[..., Sweep] | None = None
+    #: Whether the harness accepts ``scale``.
+    scaled: bool = True
+
+
+#: Experiment id -> definition.  All harnesses accept ``scale``,
+#: ``executor``, ``store``, and ``resume`` except Table 1 (pure static
+#: analysis: no scale, no cells).
+EXPERIMENTS: dict[str, ExperimentDef] = {
+    "fig3": ExperimentDef(
+        "fig3", "first-iteration sysbench read, four configs",
+        run_fig03, build_fig03_sweep),
+    "fig4": ExperimentDef(
+        "fig4", "ten phased MapReduce guests, average completion time",
+        run_fig04, build_fig04_sweep),
+    "fig5": ExperimentDef(
+        "fig5", "pbzip2 runtime vs shrinking memory grant",
+        run_fig05_fig11, build_fig05_fig11_sweep),
+    "fig9": ExperimentDef(
+        "fig9", "anatomy of uncooperative swapping, per iteration",
+        run_fig09, build_fig09_sweep),
+    "fig10": ExperimentDef(
+        "fig10", "false swap reads: allocate-after-read phase",
+        run_fig10, build_fig10_sweep),
+    "fig11": ExperimentDef(
+        "fig11", "pbzip2 disk traffic vs shrinking memory grant",
+        run_fig05_fig11, build_fig05_fig11_sweep),
+    "fig12": ExperimentDef(
+        "fig12", "Kernbench under memory pressure, preventer remaps",
+        run_fig12, build_fig12_sweep),
+    "fig13": ExperimentDef(
+        "fig13", "Eclipse (DaCapo) runtime vs memory limit",
+        run_fig13, build_fig13_sweep),
+    "fig14": ExperimentDef(
+        "fig14", "phased MapReduce guests vs guest count",
+        run_fig14, build_fig14_sweep),
+    "fig15": ExperimentDef(
+        "fig15", "mapper-tracked pages vs guest page cache over time",
+        run_fig15, build_fig15_sweep),
+    "table1": ExperimentDef(
+        "table1", "lines of code vs the paper's implementation",
+        run_table1, None, scaled=False),
+    "table2": ExperimentDef(
+        "table2", "1GB read on the VMware-like profile",
+        run_table2, build_table2_sweep),
+    "sec5.3": ExperimentDef(
+        "sec5.3", "VSwapper overheads at zero and light pressure",
+        run_sec53, build_sec53_sweep),
+    "sec5.4": ExperimentDef(
+        "sec5.4", "Windows Server guest: sysbench and bzip2",
+        run_sec54, build_sec54_sweep),
+    "ablation-dirty-bit": ExperimentDef(
+        "ablation-dirty-bit", "hardware dirty bit vs silent swap writes",
+        run_dirty_bit_ablation, build_dirty_bit_sweep),
+    "ablation-ssd": ExperimentDef(
+        "ablation-ssd", "HDD vs SSD swap devices, baseline vs VSwapper",
+        run_ssd_ablation, build_ssd_sweep),
+    "ablation-preventer": ExperimentDef(
+        "ablation-preventer", "Preventer window/page-cap sensitivity",
+        run_preventer_param_ablation, build_preventer_sweep),
+    "ablation-cluster": ExperimentDef(
+        "ablation-cluster", "swap readahead cluster size vs decay",
+        run_cluster_ablation, build_cluster_sweep),
+    "migration-study": ExperimentDef(
+        "migration-study", "live-migration traffic with Mapper knowledge",
+        run_migration_study, build_migration_sweep),
+    "chaos": ExperimentDef(
+        "chaos", "five configs under deterministic fault injection",
+        run_chaos, build_chaos_sweep),
 }
 
 #: Experiments whose harness takes no ``scale`` parameter.
-UNSCALED = frozenset({"table1"})
+UNSCALED = frozenset(
+    def_.experiment_id for def_ in EXPERIMENTS.values() if not def_.scaled)
+
+#: Sweep harness id (``CellSpec.experiment_id``) -> cell runner.  Keys
+#: are *harness* ids, not CLI ids: shared sweeps appear once.
+CELL_RUNNERS: dict[str, Callable[[CellSpec], RunResult]] = {
+    "fig09": fig09_cell,
+    "fig05+fig11": fig05_fig11_cell,
+    "fig10": fig10_cell,
+    "fig12": fig12_cell,
+    "fig13": fig13_cell,
+    "fig15": fig15_cell,
+    "dynamic": dynamic_cell,
+    "table2": table2_cell,
+    "sec53": sec53_cell,
+    "sec54": sec54_cell,
+    "ablation-dirty-bit": dirty_bit_cell,
+    "ablation-ssd": ssd_cell,
+    "ablation-preventer": preventer_cell,
+    "ablation-cluster": cluster_cell,
+    "migration-study": migration_cell,
+    "chaos": chaos_cell,
+}
 
 
-def run_experiment(experiment_id: str, *, scale: int = 1) -> FigureResult:
-    """Run one experiment by id."""
+def cell_runner(harness_id: str) -> Callable[[CellSpec], RunResult]:
+    """Resolve the cell runner for one sweep harness id."""
     try:
-        harness = EXPERIMENTS[experiment_id]
+        return CELL_RUNNERS[harness_id]
+    except KeyError:
+        known = ", ".join(sorted(CELL_RUNNERS))
+        raise ExperimentError(
+            f"no cell runner for harness {harness_id!r}; known: {known}"
+        ) from None
+
+
+def _lookup(experiment_id: str) -> ExperimentDef:
+    try:
+        return EXPERIMENTS[experiment_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    if experiment_id in UNSCALED:
-        return harness()
-    return harness(scale=scale)
+
+
+def run_experiment(experiment_id: str, *, scale: int = 1,
+                   executor=None, store=None,
+                   resume: bool = False) -> FigureResult:
+    """Run one experiment by id."""
+    definition = _lookup(experiment_id)
+    kwargs: dict = {"executor": executor, "store": store, "resume": resume}
+    if definition.scaled:
+        kwargs["scale"] = scale
+    else:
+        # Cell-less harness: nothing to execute or resume.
+        kwargs = {"store": store}
+    return definition.harness(**kwargs)
 
 
 def experiment_ids() -> list[str]:
     """All known experiment ids, sorted."""
     return sorted(EXPERIMENTS)
+
+
+def describe(experiment_id: str) -> str:
+    """One-line description for the CLI listing."""
+    return _lookup(experiment_id).description
+
+
+def cell_count(experiment_id: str, *, scale: int = 1) -> int:
+    """Number of cells the experiment declares at ``scale``."""
+    definition = _lookup(experiment_id)
+    if definition.build_sweep is None:
+        return 0
+    return len(definition.build_sweep(scale=scale))

@@ -74,6 +74,21 @@ def standard_configs(
     return [s for s in all_specs if s.name in wanted]
 
 
+#: Version of the persisted result schema.  Bumped whenever the shape
+#: or semantics of RunResult/FigureResult change; the result store
+#: folds it into every cache key, so stale entries become cache misses
+#: instead of wrong answers.
+RESULT_SCHEMA_VERSION = 1
+
+
+def _require_schema(data: dict, kind: str) -> None:
+    found = data.get("schema")
+    if found != RESULT_SCHEMA_VERSION:
+        raise ExperimentError(
+            f"{kind} schema version {found!r} != {RESULT_SCHEMA_VERSION} "
+            f"(refusing to deserialize)")
+
+
 @dataclass
 class PhaseMark:
     """One MarkPhase observation, with a counter snapshot at that time."""
@@ -82,6 +97,27 @@ class PhaseMark:
     payload: dict
     time: float
     counters: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (payloads carry primitives only)."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "name": self.name,
+            "payload": self.payload,
+            "time": self.time,
+            "counters": self.counters,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseMark":
+        """Inverse of :meth:`to_dict`."""
+        _require_schema(data, "PhaseMark")
+        return cls(
+            name=data["name"],
+            payload=dict(data["payload"]),
+            time=data["time"],
+            counters=dict(data["counters"]),
+        )
 
 
 #: Fault-induced failures the runner reports as a *crashed* cell (the
@@ -146,17 +182,99 @@ class RunResult:
             for s, e in zip(starts, ends)
         ]
 
+    def to_dict(self, *, include_timeline: bool = True) -> dict:
+        """JSON-ready form.
+
+        ``include_timeline=False`` opts the (potentially large) sampled
+        timeline out; the round trip then yields ``timeline=None``.
+        """
+        timeline = None
+        if include_timeline and self.timeline is not None:
+            timeline = self.timeline.to_dict()
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "config": self.config.value,
+            "runtime": self.runtime,
+            "crashed": self.crashed,
+            "counters": self.counters,
+            "phases": [p.to_dict() for p in self.phases],
+            "timeline": timeline,
+            "degraded": self.degraded,
+            "crash_reason": self.crash_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        _require_schema(data, "RunResult")
+        timeline = (Timeline.from_dict(data["timeline"])
+                    if data.get("timeline") is not None else None)
+        return cls(
+            config=ConfigName(data["config"]),
+            runtime=data["runtime"],
+            crashed=data["crashed"],
+            counters=dict(data["counters"]),
+            phases=[PhaseMark.from_dict(p) for p in data["phases"]],
+            timeline=timeline,
+            degraded=data["degraded"],
+            crash_reason=data.get("crash_reason"),
+        )
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Execution accounting for one sweep (reported, never persisted)."""
+
+    experiment_id: str
+    cells: int
+    executed: int
+    cached: int
+    #: Summed per-cell wall time of the cells executed this run.
+    wall_seconds: float = 0.0
+
+    @property
+    def all_cached(self) -> bool:
+        """Whether a resume skipped every cell."""
+        return self.cells > 0 and self.executed == 0
+
 
 @dataclass
 class FigureResult:
-    """A regenerated table/figure: raw series plus rendered text."""
+    """A regenerated table/figure: raw series plus rendered text.
+
+    ``series`` must hold JSON-serializable data only (string keys,
+    primitive leaves), so every figure persists faithfully through the
+    result store.
+    """
 
     figure_id: str
     series: dict
     rendered: str
+    #: How the sweep behind this figure executed (cache hits etc.).
+    #: Presentation metadata: excluded from equality and serialization.
+    stats: SweepStats | None = field(default=None, compare=False)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.rendered
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``stats`` intentionally omitted)."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "figure_id": self.figure_id,
+            "series": self.series,
+            "rendered": self.rendered,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FigureResult":
+        """Inverse of :meth:`to_dict`."""
+        _require_schema(data, "FigureResult")
+        return cls(
+            figure_id=data["figure_id"],
+            series=data["series"],
+            rendered=data["rendered"],
+        )
 
 
 def scaled_guest_config(guest_mib: float, scale: int,

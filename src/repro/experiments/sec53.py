@@ -8,13 +8,21 @@ Two measurements:
 * **Light pressure** (grant a few percent under the guest's footprint):
   reclaim runs without real swapping, exposing scan-length differences
   (the paper observes the Mapper up to doubling clock traversals).
+
+The sweep is a 2x2 grid: pressure level x {baseline, vswapper}.
 """
 
 from __future__ import annotations
 
+from typing import Mapping
+
+from repro.config import MachineConfig
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params
 from repro.experiments.runner import (
     ConfigName,
     FigureResult,
+    RunResult,
     SingleVmExperiment,
     scaled_guest_config,
     standard_configs,
@@ -23,39 +31,62 @@ from repro.metrics.report import Table
 from repro.units import MIB, mib_pages
 from repro.workloads.pbzip import PbzipCompress
 
+#: Pressure label -> actual-memory grant (MiB).
+SEC53_PRESSURES = (("zero", 512), ("light", 480))
 
-def _run_pair(scale: int, actual_mib: float) -> dict[str, object]:
+SEC53_CONFIGS = (ConfigName.BASELINE, ConfigName.VSWAPPER)
+
+
+def build_sec53_sweep(*, scale: int = 1) -> Sweep:
+    """Declare the 2x2 grid: pressure level x configuration."""
+    faults = fault_params()
+    cells = tuple(
+        CellSpec(
+            experiment_id="sec53",
+            cell_id=f"{name.value}@{pressure}",
+            scale=scale,
+            config=name.value,
+            params={"actual_mib": actual_mib, "pressure": pressure},
+            faults=faults,
+        )
+        for pressure, actual_mib in SEC53_PRESSURES
+        for name in SEC53_CONFIGS)
+    return Sweep("sec53", cells)
+
+
+def sec53_cell(spec: CellSpec) -> RunResult:
+    """Run pbzip2 under one (pressure, configuration) cell."""
+    scale = spec.scale
     experiment = SingleVmExperiment(
         guest_mib=512 / scale,
-        actual_mib=actual_mib / scale,
+        actual_mib=spec.params["actual_mib"] / scale,
+        machine_config=MachineConfig(seed=spec.seed),
         guest_config=scaled_guest_config(512, scale),
         files=[
             ("pbzip-input", mib_pages(800 / scale)),
             ("pbzip-output", mib_pages(220 / scale)),
         ],
     )
-    results = {}
-    for name in (ConfigName.BASELINE, ConfigName.VSWAPPER):
-        spec = standard_configs([name])[0]
-        workload = PbzipCompress(
-            input_pages=mib_pages(800 / scale),
-            min_resident_pages=mib_pages(220 / scale),
-        )
-        results[name.value] = experiment.run(spec, workload)
-    return results
+    config = standard_configs([ConfigName(spec.config)])[0]
+    workload = PbzipCompress(
+        input_pages=mib_pages(800 / scale),
+        min_resident_pages=mib_pages(220 / scale),
+    )
+    return experiment.run(config, workload)
 
 
-def run_sec53(*, scale: int = 1) -> FigureResult:
-    """Measure VSwapper's overheads (Section 5.3)."""
-    # Zero pressure: the full grant, no host reclaim at all.
-    zero = _run_pair(scale, 512)
-    # Light pressure: a grant a few percent under the footprint.
-    light = _run_pair(scale, 480)
-
-    zbase = zero[ConfigName.BASELINE.value]
-    zvsw = zero[ConfigName.VSWAPPER.value]
-    lbase = light[ConfigName.BASELINE.value]
-    lvsw = light[ConfigName.VSWAPPER.value]
+def assemble_sec53(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build the Section 5.3 overhead table from cells."""
+    scale = sweep.cells[0].scale
+    by_cell = {
+        (cell.params["pressure"], cell.config): results[cell.cell_id]
+        for cell in sweep.cells
+    }
+    zbase = by_cell[("zero", ConfigName.BASELINE.value)]
+    zvsw = by_cell[("zero", ConfigName.VSWAPPER.value)]
+    lbase = by_cell[("light", ConfigName.BASELINE.value)]
+    lvsw = by_cell[("light", ConfigName.VSWAPPER.value)]
 
     slowdown = zvsw.runtime / zbase.runtime
     metadata_mib = zvsw.counters.get("mapper_tracked_peak", 0) * 200 / MIB
@@ -88,3 +119,13 @@ def run_sec53(*, scale: int = 1) -> FigureResult:
         "light_vswapper_scanned": lvsw.counters.get("pages_scanned", 0),
     }
     return FigureResult("sec5.3", series, table.render())
+
+
+def run_sec53(*, scale: int = 1, executor=None, store=None,
+              resume: bool = False) -> FigureResult:
+    """Measure VSwapper's overheads (Section 5.3)."""
+    sweep = build_sec53_sweep(scale=scale)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_sec53(sweep, outcome.results), outcome, store)

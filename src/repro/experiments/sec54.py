@@ -7,14 +7,21 @@ and 79 s with it; bzip2 in the same guest at 512 MB runs 306 s vs
 async-page-fault support, a background zero-page thread (a steady
 false-read generator), and sporadic sub-4KiB disk accesses the Mapper
 cannot track.
+
+The sweep is a 2x2 grid: workload x {baseline, vswapper}.
 """
 
 from __future__ import annotations
 
-from repro.config import GuestConfig, GuestOsKind
+from typing import Mapping
+
+from repro.config import GuestConfig, GuestOsKind, MachineConfig
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params
 from repro.experiments.runner import (
     ConfigName,
     FigureResult,
+    RunResult,
     SingleVmExperiment,
     standard_configs,
 )
@@ -22,6 +29,13 @@ from repro.metrics.report import Table
 from repro.units import mib_pages
 from repro.workloads.pbzip import BzipCompress
 from repro.workloads.sysbench import SysbenchFileRead
+
+SEC54_WORKLOADS = ("sysbench", "bzip")
+
+SEC54_CASES = (
+    ("without vswapper", ConfigName.BASELINE),
+    ("with vswapper", ConfigName.VSWAPPER),
+)
 
 
 def windows_guest_config(guest_mib: float, scale: int) -> GuestConfig:
@@ -36,41 +50,67 @@ def windows_guest_config(guest_mib: float, scale: int) -> GuestConfig:
     )
 
 
-def run_sec54(*, scale: int = 1) -> FigureResult:
-    """Regenerate the two Windows-guest comparisons."""
-    series: dict = {}
+def build_sec54_sweep(*, scale: int = 1) -> Sweep:
+    """Declare the 2x2 grid: workload x configuration."""
+    faults = fault_params()
+    cells = tuple(
+        CellSpec(
+            experiment_id="sec54",
+            cell_id=f"{name.value}/{workload}",
+            scale=scale,
+            config=name.value,
+            params={"workload": workload, "label": label},
+            faults=faults,
+        )
+        for label, name in SEC54_CASES
+        for workload in SEC54_WORKLOADS)
+    return Sweep("sec54", cells)
 
-    # Experiment 1: Sysbench, 2GB file, 2GB guest, 1GB grant.
-    sysbench_exp = SingleVmExperiment(
-        guest_mib=2048 / scale,
-        actual_mib=1024 / scale,
-        guest_config=windows_guest_config(2048, scale),
-        files=[("sysbench.dat", mib_pages(2048 / scale))],
-    )
-    # Experiment 2: bzip2 in the same guest at 512MB.
-    bzip_exp = SingleVmExperiment(
-        guest_mib=2048 / scale,
-        actual_mib=512 / scale,
-        guest_config=windows_guest_config(2048, scale),
-        files=[
-            ("pbzip-input", mib_pages(500 / scale)),
-            ("pbzip-output", mib_pages(140 / scale)),
-        ],
-    )
-    for label, name in (("without vswapper", ConfigName.BASELINE),
-                        ("with vswapper", ConfigName.VSWAPPER)):
-        spec = standard_configs([name])[0]
-        sysbench = sysbench_exp.run(spec, SysbenchFileRead(
-            file_pages=mib_pages(2048 / scale), iterations=1))
-        bzip = bzip_exp.run(spec, BzipCompress(
+
+def sec54_cell(spec: CellSpec) -> RunResult:
+    """Run one Windows-guest (workload, configuration) cell."""
+    scale = spec.scale
+    config = standard_configs([ConfigName(spec.config)])[0]
+    if spec.params["workload"] == "sysbench":
+        # Experiment 1: Sysbench, 2GB file, 2GB guest, 1GB grant.
+        experiment = SingleVmExperiment(
+            guest_mib=2048 / scale,
+            actual_mib=1024 / scale,
+            machine_config=MachineConfig(seed=spec.seed),
+            guest_config=windows_guest_config(2048, scale),
+            files=[("sysbench.dat", mib_pages(2048 / scale))],
+        )
+        workload = SysbenchFileRead(
+            file_pages=mib_pages(2048 / scale), iterations=1)
+    else:
+        # Experiment 2: bzip2 in the same guest at 512MB.
+        experiment = SingleVmExperiment(
+            guest_mib=2048 / scale,
+            actual_mib=512 / scale,
+            machine_config=MachineConfig(seed=spec.seed),
+            guest_config=windows_guest_config(2048, scale),
+            files=[
+                ("pbzip-input", mib_pages(500 / scale)),
+                ("pbzip-output", mib_pages(140 / scale)),
+            ],
+        )
+        workload = BzipCompress(
             input_pages=mib_pages(500 / scale),
-            min_resident_pages=mib_pages(220 / scale)))
-        series[label] = {
-            "sysbench_runtime": sysbench.runtime,
-            "bzip_runtime": bzip.runtime,
-            "sysbench_false_reads": sysbench.counters.get("false_reads"),
-            "bzip_false_reads": bzip.counters.get("false_reads"),
-        }
+            min_resident_pages=mib_pages(220 / scale))
+    return experiment.run(config, workload)
+
+
+def assemble_sec54(sweep: Sweep,
+                   results: Mapping[str, RunResult]) -> FigureResult:
+    """Build the Windows-guest comparison table from cells."""
+    scale = sweep.cells[0].scale
+    series: dict = {}
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
+        row = series.setdefault(cell.params["label"], {})
+        workload = cell.params["workload"]
+        row[f"{workload}_runtime"] = result.runtime
+        row[f"{workload}_false_reads"] = result.counters.get("false_reads")
 
     table = Table(
         f"Section 5.4 (scale=1/{scale}): Windows Server guest",
@@ -87,3 +127,13 @@ def run_sec54(*, scale: int = 1) -> FigureResult:
         f"{series['without vswapper']['bzip_runtime']:.1f}s -> "
         f"{series['with vswapper']['bzip_runtime']:.1f}s")
     return FigureResult("sec5.4", series, table.render())
+
+
+def run_sec54(*, scale: int = 1, executor=None, store=None,
+              resume: bool = False) -> FigureResult:
+    """Regenerate the two Windows-guest comparisons."""
+    sweep = build_sec54_sweep(scale=scale)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_sec54(sweep, outcome.results), outcome, store)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.exec.executor import finish_figure
 from repro.experiments.runner import FigureResult
 from repro.metrics.report import Table
 
@@ -41,8 +42,14 @@ def count_loc(path: Path) -> int:
     return lines
 
 
-def run_table1() -> FigureResult:
-    """Regenerate Table 1: paper LoC next to this reproduction's LoC."""
+def run_table1(*, executor=None, store=None,
+               resume: bool = False) -> FigureResult:
+    """Regenerate Table 1: paper LoC next to this reproduction's LoC.
+
+    Pure static analysis: there is no sweep to execute or cache, so
+    ``executor`` and ``resume`` are accepted for interface uniformity
+    and ignored; a ``store`` still receives the rendered figure.
+    """
     package_root = Path(__file__).resolve().parent.parent
     ours: dict[str, int] = {}
     for component, files in COMPONENT_FILES.items():
@@ -61,5 +68,10 @@ def run_table1() -> FigureResult:
     table.add_row("shared facade", "-", "-", "-", ours["shared facade"])
     user, kernel, total = PAPER_LOC["sum"]
     table.add_row("sum", user, kernel, total, ours["sum"])
-    series = {"paper": PAPER_LOC, "repro": ours}
-    return FigureResult("table1", series, table.render())
+    # JSON-safe series: the paper's (user, kernel, sum) tuples as lists.
+    series = {
+        "paper": {name: list(loc) for name, loc in PAPER_LOC.items()},
+        "repro": ours,
+    }
+    return finish_figure(
+        FigureResult("table1", series, table.render()), None, store)

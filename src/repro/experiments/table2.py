@@ -15,15 +15,21 @@ unaware while the host enforces the same grant uncooperatively.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Mapping
+
 from repro.config import (
     DiskConfig,
     HostConfig,
     HypervisorKind,
     MachineConfig,
 )
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params
 from repro.experiments.runner import (
     ConfigName,
     FigureResult,
+    RunResult,
     SingleVmExperiment,
     scaled_guest_config,
     standard_configs,
@@ -31,6 +37,12 @@ from repro.experiments.runner import (
 from repro.metrics.report import Table
 from repro.units import mib_pages
 from repro.workloads.sysbench import SysbenchFileRead
+
+#: Row label -> configuration, in the paper's column order.
+TABLE2_CASES = (
+    ("balloon enabled", ConfigName.BALLOON_BASELINE),
+    ("balloon disabled", ConfigName.BASELINE),
+)
 
 
 def vmware_machine_config(scale: int) -> MachineConfig:
@@ -46,27 +58,48 @@ def vmware_machine_config(scale: int) -> MachineConfig:
     )
 
 
-def run_table2(*, scale: int = 1) -> FigureResult:
-    """Regenerate Table 2: balloon enabled vs disabled on VMware."""
+def build_table2_sweep(*, scale: int = 1) -> Sweep:
+    """Declare Table 2's two cells: balloon enabled vs disabled."""
+    faults = fault_params()
+    cells = tuple(
+        CellSpec(
+            experiment_id="table2",
+            cell_id=label,
+            scale=scale,
+            config=name.value,
+            params={"label": label},
+            faults=faults,
+        )
+        for label, name in TABLE2_CASES)
+    return Sweep("table2", cells)
+
+
+def table2_cell(spec: CellSpec) -> RunResult:
+    """Run the 1 GB sequential read on the VMware-like profile."""
+    scale = spec.scale
     experiment = SingleVmExperiment(
         guest_mib=440 / scale,
         actual_mib=360 / scale,
-        machine_config=vmware_machine_config(scale),
+        machine_config=dataclasses.replace(
+            vmware_machine_config(scale), seed=spec.seed),
         guest_config=scaled_guest_config(440, scale),
         files=[("sysbench.dat", mib_pages(1024 / scale))],
     )
+    config = standard_configs([ConfigName(spec.config)])[0]
+    workload = SysbenchFileRead(
+        file_pages=mib_pages(1024 / scale), iterations=1)
+    return experiment.run(config, workload)
+
+
+def assemble_table2(sweep: Sweep,
+                    results: Mapping[str, RunResult]) -> FigureResult:
+    """Build Table 2's metric rows from cells."""
+    scale = sweep.cells[0].scale
     rows: dict = {}
-    cases = {
-        "balloon enabled": ConfigName.BALLOON_BASELINE,
-        "balloon disabled": ConfigName.BASELINE,
-    }
-    for label, name in cases.items():
-        spec = standard_configs([name])[0]
-        workload = SysbenchFileRead(
-            file_pages=mib_pages(1024 / scale), iterations=1)
-        result = experiment.run(spec, workload)
+    for cell in sweep.cells:
+        result = results[cell.cell_id]
         counters = result.counters
-        rows[label] = {
+        rows[cell.params["label"]] = {
             "runtime": result.runtime,
             "swap_read_sectors": counters.get("swap_sectors_read", 0),
             "swap_write_sectors": counters.get("swap_sectors_written", 0),
@@ -88,3 +121,13 @@ def run_table2(*, scale: int = 1) -> FigureResult:
                       rows["balloon enabled"][metric],
                       rows["balloon disabled"][metric])
     return FigureResult("table2", rows, table.render())
+
+
+def run_table2(*, scale: int = 1, executor=None, store=None,
+               resume: bool = False) -> FigureResult:
+    """Regenerate Table 2: balloon enabled vs disabled on VMware."""
+    sweep = build_table2_sweep(scale=scale)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_table2(sweep, outcome.results), outcome, store)

@@ -52,3 +52,26 @@ class Timeline:
         for s in self.samples:
             seen.setdefault(s.series, None)
         return list(seen)
+
+    def freeze(self) -> None:
+        """Drop the gauge callables, keeping only the recorded samples.
+
+        Gauges close over live simulation state (VMs, machines) and are
+        neither picklable nor JSON-serializable; a finished run freezes
+        its timeline before crossing a process or storage boundary.
+        """
+        self._gauges.clear()
+
+    def to_dict(self) -> dict:
+        """Plain-data form: the samples only (gauges never serialize)."""
+        return {
+            "samples": [[s.time, s.series, s.value] for s in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Timeline":
+        """Inverse of :meth:`to_dict` (the result is frozen)."""
+        return cls(samples=[
+            Sample(time, series, value)
+            for time, series, value in data["samples"]
+        ])

@@ -1,0 +1,100 @@
+"""Versioned JSON round trips for results, phases, figures, timelines."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    ConfigName,
+    FigureResult,
+    PhaseMark,
+    RunResult,
+    SweepStats,
+)
+from repro.metrics.timeline import Timeline
+
+
+def _timeline() -> Timeline:
+    timeline = Timeline()
+    timeline.record(0.0, "cache", 10.0)
+    timeline.record(1.0, "cache", 12.0)
+    timeline.record(1.0, "tracked", 5.0)
+    return timeline
+
+
+def _result() -> RunResult:
+    return RunResult(
+        config=ConfigName.VSWAPPER,
+        runtime=3.25,
+        crashed=False,
+        counters={"disk_ops": 7, "false_reads": 0},
+        phases=[
+            PhaseMark("iteration-start", {}, 0.0, {"disk_ops": 0}),
+            PhaseMark("iteration-end", {"n": 1}, 3.25, {"disk_ops": 7}),
+        ],
+        timeline=_timeline(),
+        degraded=True,
+    )
+
+
+def test_phase_mark_round_trip():
+    mark = PhaseMark("alloc-start", {"pages": 100}, 2.5, {"disk_ops": 3})
+    assert PhaseMark.from_dict(mark.to_dict()) == mark
+
+
+def test_run_result_round_trip_equality():
+    result = _result()
+    assert RunResult.from_dict(result.to_dict()) == result
+
+
+def test_crashed_result_round_trip():
+    result = RunResult(
+        config=ConfigName.BASELINE, runtime=None, crashed=True,
+        counters={}, crash_reason="FaultError: injected")
+    restored = RunResult.from_dict(result.to_dict())
+    assert restored == result
+    assert restored.status == "crashed"
+
+
+def test_timeline_opt_out():
+    data = _result().to_dict(include_timeline=False)
+    assert data["timeline"] is None
+    assert RunResult.from_dict(data).timeline is None
+
+
+def test_timeline_round_trip():
+    timeline = _timeline()
+    restored = Timeline.from_dict(timeline.to_dict())
+    assert restored == timeline
+    assert restored.series("cache") == ([0.0, 1.0], [10.0, 12.0])
+
+
+def test_frozen_timeline_still_round_trips():
+    timeline = _timeline()
+    timeline.register("cache", lambda: 0.0)
+    timeline.freeze()
+    assert Timeline.from_dict(timeline.to_dict()) == timeline
+
+
+def test_figure_result_round_trip():
+    figure = FigureResult(
+        "fig05+fig11",
+        {"baseline": {"512": {"runtime": 2.0, "crashed": False}}},
+        "rendered table",
+        stats=SweepStats("fig05+fig11", cells=4, executed=4, cached=0),
+    )
+    restored = FigureResult.from_dict(figure.to_dict())
+    assert restored == figure          # stats excluded from equality
+    assert restored.stats is None      # ...and from serialization
+
+
+def test_everything_is_actually_json():
+    blob = json.dumps(_result().to_dict())
+    assert RunResult.from_dict(json.loads(blob)) == _result()
+
+
+@pytest.mark.parametrize("cls", [PhaseMark, RunResult, FigureResult])
+def test_schema_mismatch_refused(cls):
+    with pytest.raises(ExperimentError):
+        cls.from_dict({"schema": 999})

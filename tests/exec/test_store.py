@@ -1,0 +1,116 @@
+"""ResultStore: content-addressed caching semantics."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exec.spec import CellSpec
+from repro.exec.store import ResultStore, cell_key
+from repro.experiments.runner import (
+    ConfigName,
+    FigureResult,
+    PhaseMark,
+    RunResult,
+)
+
+
+def _spec(**overrides) -> CellSpec:
+    defaults = dict(experiment_id="exp", cell_id="cell", scale=4,
+                    config="baseline", params={"actual_mib": 512})
+    defaults.update(overrides)
+    return CellSpec(**defaults)
+
+
+def _result() -> RunResult:
+    return RunResult(
+        config=ConfigName.BASELINE,
+        runtime=12.5,
+        crashed=False,
+        counters={"disk_ops": 42},
+        phases=[PhaseMark("iteration-start", {}, 1.0, {"disk_ops": 1})],
+    )
+
+
+def test_cell_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = _spec()
+    store.store_cell(spec, _result(), wall_seconds=0.5)
+    assert store.has_cell(spec)
+    assert store.load_cell(spec) == _result()
+
+
+def test_missing_cell_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.load_cell(_spec()) is None
+    assert not store.has_cell(_spec())
+
+
+def test_any_spec_change_changes_the_key():
+    base = _spec()
+    variants = [
+        _spec(scale=8),
+        _spec(seed=2),
+        _spec(config="vswapper"),
+        _spec(params={"actual_mib": 256}),
+        _spec(faults={"enabled": True}),
+    ]
+    keys = {cell_key(s) for s in [base] + variants}
+    assert len(keys) == len(variants) + 1
+
+
+def test_param_change_is_a_cache_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    store.store_cell(_spec(), _result(), wall_seconds=0.1)
+    assert store.load_cell(_spec(params={"actual_mib": 256})) is None
+
+
+def test_corrupt_record_reads_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = _spec()
+    path = store.store_cell(spec, _result(), wall_seconds=0.1)
+    path.write_text("{ not json")
+    assert store.load_cell(spec) is None
+
+
+def test_stale_key_reads_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = _spec()
+    path = store.store_cell(spec, _result(), wall_seconds=0.1)
+    record = json.loads(path.read_text())
+    record["key"] = "0" * 64
+    path.write_text(json.dumps(record))
+    assert store.load_cell(spec) is None
+
+
+def test_root_collision_raises_config_error(tmp_path):
+    not_a_dir = tmp_path / "occupied"
+    not_a_dir.write_text("file, not a directory")
+    with pytest.raises(ConfigError):
+        ResultStore(not_a_dir)
+
+
+def test_cell_timings_read_back(tmp_path):
+    store = ResultStore(tmp_path)
+    store.store_cell(_spec(cell_id="a"), _result(), wall_seconds=1.25)
+    store.store_cell(_spec(cell_id="b"), _result(), wall_seconds=0.75)
+    assert store.cell_timings("exp") == {"a": 1.25, "b": 0.75}
+
+
+def test_figure_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    figure = FigureResult("fig99", {"baseline": {"512": 1.5}}, "rendered")
+    store.store_figure(figure)
+    assert store.load_figure("fig99") == figure
+    assert store.load_figure("fig-unknown") is None
+
+
+def test_awkward_ids_get_sane_file_names(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = _spec(experiment_id="fig05+fig11",
+                 cell_id="balloon+base@512MiB")
+    path = store.store_cell(spec, _result(), wall_seconds=0.1)
+    assert path.is_file()
+    assert store.has_cell(spec)
+    figure = FigureResult("sec5.3", {}, "rendered")
+    assert store.store_figure(figure).is_file()

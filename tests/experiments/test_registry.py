@@ -5,7 +5,11 @@ import pytest
 from repro.cli import build_parser, main
 from repro.errors import ExperimentError
 from repro.experiments.registry import (
+    CELL_RUNNERS,
     EXPERIMENTS,
+    cell_count,
+    cell_runner,
+    describe,
     experiment_ids,
     run_experiment,
 )
@@ -69,3 +73,74 @@ def test_cli_unknown_experiment(capsys):
 def test_cli_parser_defaults():
     args = build_parser().parse_args(["run", "fig3"])
     assert args.scale == 4
+    assert args.jobs == 1
+    assert args.results_dir is None
+    assert args.resume is False
+
+
+def test_every_declared_sweep_has_a_cell_runner():
+    for definition in EXPERIMENTS.values():
+        if definition.build_sweep is None:
+            continue
+        sweep = definition.build_sweep(scale=8)
+        assert sweep.cells, definition.experiment_id
+        assert cell_runner(sweep.experiment_id) is \
+            CELL_RUNNERS[sweep.experiment_id]
+
+
+def test_cell_runner_unknown_harness():
+    with pytest.raises(ExperimentError):
+        cell_runner("no-such-harness")
+
+
+def test_descriptions_and_cell_counts():
+    assert describe("fig9")
+    assert cell_count("fig9", scale=8) == 3   # one cell per config
+    assert cell_count("fig3", scale=8) == 4
+    assert cell_count("table1") == 0          # cell-less static result
+    with pytest.raises(ExperimentError):
+        describe("fig99")
+
+
+def test_shared_harnesses_share_cell_identity():
+    fig5 = EXPERIMENTS["fig5"].build_sweep(scale=8)
+    fig11 = EXPERIMENTS["fig11"].build_sweep(scale=8)
+    assert fig5 == fig11  # identical sweeps -> shared cache entries
+
+
+def test_cli_list_shows_descriptions_and_cell_counts(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "cells=" in out
+    for line_start in ("fig3", "table1", "chaos"):
+        assert any(line.startswith(line_start)
+                   for line in out.splitlines())
+    assert describe("fig9") in out
+
+
+def test_cli_rejects_nonpositive_jobs():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "fig3", "--jobs", "0"])
+
+
+def test_cli_resume_requires_results_dir(capsys):
+    assert main(["run", "fig3", "--resume"]) == 1
+    err = capsys.readouterr().err
+    assert "error" in err and "--results-dir" in err
+
+
+def test_cli_run_persists_and_resumes(tmp_path, capsys):
+    results_dir = str(tmp_path / "store")
+    scale_args = ["--scale", "16", "--results-dir", results_dir]
+    assert main(["run", "fig3", *scale_args]) == 0
+    first = capsys.readouterr().out
+    assert "executed=4 cached=0" in first
+
+    assert main(["run", "fig3", *scale_args, "--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "executed=0 cached=4" in second
+
+
+def test_run_experiment_accepts_exec_kwargs():
+    result = run_experiment("table1", executor=None, store=None)
+    assert "Mapper" in result.rendered
