@@ -1,0 +1,55 @@
+"""Runtime invariant auditing (the ``--paranoid`` flag).
+
+The simulator's failure mode of last resort is not a crash but a wrong
+figure: an accounting bug that leaks frames or maps a swapped-out page
+produces plausible-looking numbers with nothing to flag them.  The
+auditor turns that silence into an error.  When the process-wide
+paranoid flag is set (:func:`set_paranoid`, mirroring the fault layer's
+ambient default config), every :class:`~repro.machine.Machine` installs
+an :class:`~repro.audit.auditor.InvariantAuditor` that re-checks the
+core invariants at operation boundaries -- the end of every reclaim
+batch and every workload phase mark -- and raises
+:class:`~repro.errors.InvariantViolation` on the first breach.
+
+The invariant families (see DESIGN.md, "The invariant auditor"):
+
+* **Frame conservation** -- the frame pool never goes negative or over
+  total, and its ``used`` count equals the sum of every VM's resident
+  pages (EPT mappings + QEMU text + swap-cache pages).
+* **EPT / swap / mapper consistency** -- no page is simultaneously
+  swapped-out and EPT-mapped; swap-cache and pending-swap entries are
+  backed by owned swap slots; ``slot_owner`` and the per-VM slot maps
+  agree both ways; every Mapper association's block lies within the
+  VM's disk-image geometry, the gpa->assoc and block->assoc indices
+  stay a bijection, and residency states match the EPT.
+* **Clock monotonicity** -- virtual time never moves backwards between
+  audits and the engine never holds an event scheduled in the past.
+"""
+
+from repro.audit.auditor import InvariantAuditor
+
+#: Process-wide paranoid flag.  Like the fault layer's default config
+#: this is ambient state: the CLI sets it once and every machine built
+#: afterwards (including in worker processes, where the executors
+#: re-install it explicitly) self-checks.
+_PARANOID = False
+
+
+def set_paranoid(enabled: bool) -> bool:
+    """Set the process-wide paranoid flag; returns the previous value."""
+    global _PARANOID
+    previous = _PARANOID
+    _PARANOID = bool(enabled)
+    return previous
+
+
+def paranoid_enabled() -> bool:
+    """Whether machines should install the invariant auditor."""
+    return _PARANOID
+
+
+__all__ = [
+    "InvariantAuditor",
+    "paranoid_enabled",
+    "set_paranoid",
+]

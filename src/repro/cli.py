@@ -13,6 +13,13 @@ seeded machine and the executor gathers results in declaration order).
 ``--results-dir`` persists every cell and figure as JSON; adding
 ``--resume`` skips any cell whose content hash is already stored, so an
 interrupted ``run all`` restarts where it died.
+
+Supervision flags harden long sweeps: ``--timeout S`` gives each cell
+a wall-clock deadline, ``--retries N`` bounds how often a hung or dead
+worker is retried before the cell is quarantined as an explicit hole,
+and ``--kill-workers RATE`` injects deterministic worker-process
+deaths to exercise exactly that recovery path.  ``--paranoid`` turns
+on the runtime invariant auditor inside every simulation.
 """
 
 from __future__ import annotations
@@ -39,6 +46,30 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative, got {value}")
+    return value
+
+
+def _rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a rate in [0, 1], got {value}")
     return value
 
 
@@ -80,6 +111,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", action="store_true",
         help="inject the standing chaos fault plan (deterministic, "
              "seeded from each experiment's machine seed)")
+    run.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock deadline; a cell past it is killed, "
+             "retried, and eventually quarantined (selects the "
+             "supervised executor)")
+    run.add_argument(
+        "--retries", type=_non_negative_int, default=None, metavar="N",
+        help="retries per cell for environmental failures -- timeouts "
+             "and dead workers -- before quarantine (default: 2 under "
+             "supervision)")
+    run.add_argument(
+        "--kill-workers", type=_rate, default=0.0, metavar="RATE",
+        help="chaos: deterministically kill this fraction of first "
+             "worker attempts mid-cell to exercise crash recovery")
+    run.add_argument(
+        "--paranoid", action="store_true",
+        help="run the invariant auditor inside every simulation "
+             "(frame conservation, EPT/mapper consistency, clock "
+             "monotonicity); violations crash the cell")
 
     chaos = sub.add_parser(
         "chaos",
@@ -94,7 +144,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_one(experiment_id: str, scale: int, *, executor=None,
-             store=None, resume: bool = False) -> tuple[int, int, int]:
+             store=None, resume: bool = False,
+             ) -> tuple[int, int, int, int, int, float]:
     from repro.experiments.plots import chart_for
 
     started = time.time()
@@ -110,13 +161,26 @@ def _run_one(experiment_id: str, scale: int, *, executor=None,
     cells = stats.cells if stats else 0
     executed = stats.executed if stats else 0
     cached = stats.cached if stats else 0
+    retried = stats.retried if stats else 0
+    quarantined = stats.quarantined if stats else 0
+    cached_wall = stats.cached_wall_seconds if stats else 0.0
+    note = ""
+    if stats and stats.all_cached:
+        # The stored wall time is what these cells cost when they were
+        # originally executed -- a resume is not "free".
+        note = (f" (cached, 0 executed; originally {cached_wall:.1f}s "
+                f"wall time)")
     print(f"[{experiment_id}: regenerated in {elapsed:.1f}s wall time; "
-          f"cells={cells} executed={executed} cached={cached}]")
+          f"cells={cells} executed={executed} cached={cached} "
+          f"retried={retried} quarantined={quarantined}{note}]")
     print()
-    return cells, executed, cached
+    return cells, executed, cached, retried, quarantined, cached_wall
 
 
 def _run_command(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.audit import set_paranoid
     from repro.config import FaultConfig
     from repro.exec.executor import make_executor
     from repro.exec.store import ResultStore
@@ -127,25 +191,37 @@ def _run_command(args: argparse.Namespace) -> int:
             "--resume requires --results-dir (there is no store to "
             "resume from)")
     store = ResultStore(args.results_dir) if args.results_dir else None
-    executor = make_executor(args.jobs)
+    executor = make_executor(args.jobs, timeout=args.timeout,
+                             retries=args.retries,
+                             supervise=args.kill_workers > 0)
 
-    if args.faults:
-        set_default_fault_config(FaultConfig.chaos())
+    if args.faults or args.kill_workers:
+        # The ambient plan is captured into every cell spec the sweeps
+        # build, so worker processes and cache keys both see it.
+        plan = FaultConfig.chaos() if args.faults else FaultConfig()
+        plan = replace(plan, enabled=True,
+                       worker_kill_rate=args.kill_workers)
+        set_default_fault_config(plan)
+    if args.paranoid:
+        set_paranoid(True)
     try:
         if args.experiment == "all":
-            totals = [0, 0, 0]
+            totals = [0, 0, 0, 0, 0, 0.0]
             for experiment_id in experiment_ids():
                 counts = _run_one(
                     experiment_id, args.scale, executor=executor,
                     store=store, resume=args.resume)
                 totals = [t + c for t, c in zip(totals, counts)]
             print(f"[all: cells={totals[0]} executed={totals[1]} "
-                  f"cached={totals[2]}]")
+                  f"cached={totals[2]} retried={totals[3]} "
+                  f"quarantined={totals[4]} "
+                  f"cached-wall={totals[5]:.1f}s]")
         else:
             _run_one(args.experiment, args.scale, executor=executor,
                      store=store, resume=args.resume)
     finally:
         set_default_fault_config(None)
+        set_paranoid(False)
     return 0
 
 

@@ -289,6 +289,14 @@ class FaultConfig:
     #: Forced invalidations a VM tolerates before its circuit breaker
     #: trips and tracking falls back to baseline swapping.
     mapper_breaker_threshold: int = 8
+    # --- executor (chaos outside the simulation) ----------------------
+    #: Probability a supervised worker process kills itself (hard
+    #: ``os._exit``) before running its cell.  Exercises the
+    #: CellSupervisor's crash recovery; plain executors ignore it.
+    worker_kill_rate: float = 0.0
+    #: Kills only strike attempts up to this number (1 = first attempt
+    #: only), so a retrying supervisor always recovers the cell.
+    worker_kill_max_attempt: int = 1
     # --- simulation watchdogs (honoured even when ``enabled=False``) --
     #: Abort the run after dispatching this many engine events.
     watchdog_max_events: int | None = None
@@ -298,7 +306,8 @@ class FaultConfig:
     def validate(self) -> None:
         for name in ("disk_transient_error_rate", "disk_latency_spike_rate",
                      "disk_torn_write_rate", "swap_read_error_rate",
-                     "swap_slot_corruption_rate", "mapper_invalidation_rate"):
+                     "swap_slot_corruption_rate", "mapper_invalidation_rate",
+                     "worker_kill_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(f"{name} must be within [0, 1]: {rate}")
@@ -312,6 +321,8 @@ class FaultConfig:
             raise ConfigError("latency spike must be non-negative")
         if self.mapper_breaker_threshold <= 0:
             raise ConfigError("mapper_breaker_threshold must be positive")
+        if self.worker_kill_max_attempt < 1:
+            raise ConfigError("worker_kill_max_attempt must be >= 1")
         if (self.watchdog_max_events is not None
                 and self.watchdog_max_events <= 0):
             raise ConfigError("watchdog_max_events must be positive")

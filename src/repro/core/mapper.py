@@ -176,10 +176,21 @@ class SwapMapper:
             return assoc.gpa
         return None
 
+    def associations(self):
+        """Snapshot of every association (the invariant auditor walks
+        these to re-verify geometry, state, and index agreement)."""
+        return list(self._by_gpa.values())
+
     @property
     def tracked_pages(self) -> int:
         """All associations, resident or discarded (Figure 15 gauge)."""
         return len(self._by_gpa)
+
+    @property
+    def tracked_blocks(self) -> int:
+        """Size of the block-side index; always equals
+        :attr:`tracked_pages` unless the bijection broke."""
+        return len(self._by_block)
 
     @property
     def tracked_resident_pages(self) -> int:

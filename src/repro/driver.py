@@ -74,8 +74,11 @@ class VmDriver:
             self.finished_at = now
             return None
 
-        if isinstance(op, MarkPhase) and self.phase_callback is not None:
-            self.phase_callback(op.name, dict(op.payload), now)
+        if isinstance(op, MarkPhase):
+            if self.machine.auditor is not None:
+                self.machine.auditor.on_phase(op.name)
+            if self.phase_callback is not None:
+                self.phase_callback(op.name, dict(op.payload), now)
 
         self.vm.costs.reset()
         try:

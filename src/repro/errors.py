@@ -20,6 +20,17 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 
 
+class InvariantViolation(SimulationError):
+    """A runtime self-check caught the simulator in an impossible state.
+
+    Raised by the invariant auditor (:mod:`repro.audit`) when a
+    ``--paranoid`` run finds frame-conservation drift, an EPT/mapper
+    inconsistency, or a non-monotonic engine clock.  Unlike the fault
+    family this always means a simulator bug: the supervisor quarantines
+    the cell instead of retrying, and an unsupervised run aborts.
+    """
+
+
 class DiskError(ReproError):
     """An invalid disk request (out-of-range sector, bad length...)."""
 

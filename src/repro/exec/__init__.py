@@ -18,6 +18,12 @@ from repro.exec.executor import (
     make_executor,
     run_sweep,
 )
+from repro.exec.supervisor import (
+    CellFailure,
+    CellSupervisor,
+    FailureKind,
+    SupervisorConfig,
+)
 from repro.exec.spec import (
     SPEC_SCHEMA_VERSION,
     CellSpec,
@@ -29,11 +35,15 @@ from repro.exec.spec import (
 from repro.exec.store import ResultStore, cell_key
 
 __all__ = [
+    "CellFailure",
     "CellSpec",
+    "CellSupervisor",
+    "FailureKind",
     "ParallelExecutor",
     "ResultStore",
     "SPEC_SCHEMA_VERSION",
     "SerialExecutor",
+    "SupervisorConfig",
     "Sweep",
     "SweepOutcome",
     "cell_key",

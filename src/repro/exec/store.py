@@ -88,16 +88,29 @@ class ResultStore:
         _atomic_write(path, record)
         return path
 
-    def load_cell(self, spec: CellSpec) -> RunResult | None:
-        """The cached result for ``spec``, or None (missing/stale/corrupt
-        records all read as cache misses, never as errors)."""
+    def load_cell_entry(self, spec: CellSpec
+                        ) -> tuple[RunResult, float] | None:
+        """The cached ``(result, wall_seconds)`` for ``spec``, or None
+        (missing/stale/corrupt records all read as cache misses, never
+        as errors).  The recorded wall time is what the cell cost when
+        it originally executed -- resume summaries report it so cache
+        hits do not read as free."""
         record = self._read_record(self.cell_path(spec))
         if record is None or record.get("key") != cell_key(spec):
             return None
         try:
-            return RunResult.from_dict(record["result"])
+            result = RunResult.from_dict(record["result"])
         except Exception:
             return None
+        wall = record.get("wall_seconds", 0.0)
+        if not isinstance(wall, (int, float)):
+            wall = 0.0
+        return result, float(wall)
+
+    def load_cell(self, spec: CellSpec) -> RunResult | None:
+        """The cached result for ``spec``, or None on any cache miss."""
+        entry = self.load_cell_entry(spec)
+        return None if entry is None else entry[0]
 
     def has_cell(self, spec: CellSpec) -> bool:
         """Whether ``spec`` would be a cache hit."""

@@ -195,6 +195,27 @@ def cell_runner(harness_id: str) -> Callable[[CellSpec], RunResult]:
         ) from None
 
 
+def register_cell_runner(harness_id: str,
+                         runner: Callable[[CellSpec], RunResult],
+                         ) -> Callable[[CellSpec], RunResult]:
+    """Register an extra cell runner (supervisor tests install runners
+    that hang or kill their worker; forked workers inherit the entry).
+
+    Refuses to shadow a real harness: tests must pick fresh ids and
+    remove them again with :func:`unregister_cell_runner`.
+    """
+    if harness_id in CELL_RUNNERS:
+        raise ExperimentError(
+            f"cell runner {harness_id!r} is already registered")
+    CELL_RUNNERS[harness_id] = runner
+    return runner
+
+
+def unregister_cell_runner(harness_id: str) -> None:
+    """Remove a runner added by :func:`register_cell_runner`."""
+    CELL_RUNNERS.pop(harness_id, None)
+
+
 def _lookup(experiment_id: str) -> ExperimentDef:
     try:
         return EXPERIMENTS[experiment_id]

@@ -28,6 +28,7 @@ from repro.errors import (
     FaultError,
     GuestOomKill,
     HostError,
+    InvariantViolation,
     SimulationError,
 )
 from repro.machine import Machine
@@ -231,11 +232,21 @@ class SweepStats:
     cached: int
     #: Summed per-cell wall time of the cells executed this run.
     wall_seconds: float = 0.0
+    #: Cells the supervisor had to re-run at least once (they may still
+    #: have succeeded).
+    retried: int = 0
+    #: Cells quarantined as typed CellFailure records after retries.
+    quarantined: int = 0
+    #: Summed wall time the store recorded for cache-hit cells -- what
+    #: regenerating them originally cost, so resume summaries do not
+    #: read as near-zero "run time".
+    cached_wall_seconds: float = 0.0
 
     @property
     def all_cached(self) -> bool:
-        """Whether a resume skipped every cell."""
-        return self.cells > 0 and self.executed == 0
+        """Whether a resume skipped every cell (none failed either)."""
+        return self.cells > 0 and self.executed == 0 \
+            and self.quarantined == 0
 
 
 @dataclass
@@ -380,6 +391,14 @@ class SingleVmExperiment:
         driver = VmDriver(machine, vm, workload, phase_callback=on_phase)
         try:
             self._run_to_completion(machine, driver)
+        except InvariantViolation:
+            # Derives SimulationError but must NOT become a crashed
+            # cell: a failed self-check is a simulator bug, and hiding
+            # it inside a figure hole defeats the auditor.  Propagate so
+            # the supervisor quarantines it (kind ``invariant``) or an
+            # unsupervised run aborts loudly.
+            machine.engine.stop()
+            raise
         except FAULT_INDUCED_ERRORS as error:
             # An injected fault (or watchdog) killed this configuration:
             # report the cell as crashed rather than aborting the sweep.

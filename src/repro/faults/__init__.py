@@ -7,7 +7,10 @@ A :class:`~repro.faults.plan.FaultPlan` is built from a seeded
 * the hypervisor's swap path (failed swap-in reads, slot corruption),
 * the Swap Mapper (forced consistency invalidations, whose repetition
   trips a per-VM circuit breaker into the paper's Section 4.1 fallback
-  to ordinary uncooperative swapping).
+  to ordinary uncooperative swapping),
+* the supervised executor (:func:`should_kill_worker` hard-kills
+  worker processes *outside* the simulation, exercising the
+  CellSupervisor's crash recovery without perturbing results).
 
 Every decision flows through :class:`repro.sim.rng.DeterministicRng`
 substreams, so a (seed, FaultConfig) pair fully determines the fault
@@ -19,6 +22,7 @@ from repro.faults.plan import (
     FaultPlan,
     default_fault_config,
     set_default_fault_config,
+    should_kill_worker,
 )
 
 __all__ = [
@@ -26,4 +30,5 @@ __all__ = [
     "FaultPlan",
     "default_fault_config",
     "set_default_fault_config",
+    "should_kill_worker",
 ]

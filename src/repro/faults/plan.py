@@ -32,6 +32,25 @@ def default_fault_config() -> FaultConfig | None:
     return _DEFAULT_FAULT_CONFIG
 
 
+def should_kill_worker(config: FaultConfig, cell_id: str, seed: int,
+                       attempt: int) -> bool:
+    """Whether a supervised worker kills itself before running a cell.
+
+    The draw is a pure function of (seed, cell id, attempt) -- its RNG
+    is forked fresh here, never from the machine's stream -- so the
+    chaos fault cannot perturb simulation results: a killed attempt ran
+    nothing, and the surviving attempt's machine sees the exact same
+    randomness as an unchaosed run.  Attempts past
+    ``worker_kill_max_attempt`` are never struck, which is what lets a
+    retrying supervisor always recover the cell.
+    """
+    if (not config.enabled or not config.worker_kill_rate
+            or attempt > config.worker_kill_max_attempt):
+        return False
+    rng = DeterministicRng(seed).fork(f"worker-kill:{cell_id}:{attempt}")
+    return rng.chance(config.worker_kill_rate)
+
+
 class FaultPlan:
     """Deterministic per-machine fault decisions.
 

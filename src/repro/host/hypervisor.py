@@ -59,6 +59,9 @@ class Hypervisor:
         self.slot_owner: dict[int, tuple[Vm, int]] = {}
         #: vm_id -> circuit breaker accumulating injected mapper faults.
         self._mapper_breakers: dict[int, object] = {}
+        #: Runtime invariant auditor; attached by the machine under
+        #: --paranoid, None otherwise.
+        self.auditor = None
 
     def register_vm(self, vm: Vm) -> None:
         """Add a VM to the reclaim population."""
@@ -552,6 +555,10 @@ class Hypervisor:
         if swap_outs:
             self._swap_out(vm, swap_outs)
         vm.refresh_gauges()
+        if self.auditor is not None:
+            # Reclaim just rewired EPT entries, slots, and associations:
+            # the exact moment accounting bugs become visible.
+            self.auditor.on_reclaim(vm)
 
     def _swap_out(self, vm: Vm, gpas: list[int]) -> None:
         """Queue victims for swap write-back -- all of them, dirty or

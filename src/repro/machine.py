@@ -9,6 +9,7 @@ the engine.
 
 from __future__ import annotations
 
+from repro.audit import InvariantAuditor, paranoid_enabled
 from repro.config import DiskConfig, MachineConfig, VmConfig
 from repro.disk.device import DiskDevice
 from repro.disk.geometry import DiskLayout
@@ -94,6 +95,12 @@ class Machine:
 
         self.vms: list[Vm] = []
         self._next_code_base = 0
+
+        #: Runtime invariant auditor; installed only under --paranoid
+        #: (the ambient flag), so ordinary runs pay nothing.
+        self.auditor: InvariantAuditor | None = (
+            InvariantAuditor(self) if paranoid_enabled() else None)
+        self.hypervisor.auditor = self.auditor
 
     @property
     def now(self) -> float:

@@ -86,3 +86,8 @@ class Ept:
     def present_gpas(self) -> list[int]:
         """Snapshot of all present GPAs (test/debug helper)."""
         return list(self._entries)
+
+    def iter_present(self):
+        """Iterate present GPAs without copying (the invariant auditor
+        walks every VM's EPT on each full audit)."""
+        return iter(self._entries)

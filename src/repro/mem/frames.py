@@ -54,3 +54,15 @@ class FramePool:
     def can_allocate(self, n: int) -> bool:
         """Whether ``n`` frames are currently available."""
         return self.free >= n
+
+    def audit_error(self) -> str | None:
+        """Conservation self-check for the invariant auditor.
+
+        Returns a description of the breach, or None when the pool is
+        sound.  ``free`` is derived, so the only way conservation can
+        break is the used count escaping ``[0, total]``.
+        """
+        if not 0 <= self._used <= self.total_frames:
+            return (f"frame pool out of bounds: used={self._used} "
+                    f"total={self.total_frames}")
+        return None

@@ -135,6 +135,15 @@ class Engine:
         """Number of events still queued (useful in tests)."""
         return len(self._heap)
 
+    def earliest_pending(self) -> float | None:
+        """Virtual time of the earliest queued event (None when empty).
+
+        The scheduling guards make an event in the past impossible, so
+        the invariant auditor treats ``earliest_pending() < now`` as a
+        corrupted heap rather than a race.
+        """
+        return self._heap[0][0] if self._heap else None
+
     def _dump_pending(self, limit: int = 8) -> str:
         """Diagnostic summary of the earliest pending events."""
         head = heapq.nsmallest(limit, self._heap)

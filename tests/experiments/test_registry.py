@@ -76,6 +76,25 @@ def test_cli_parser_defaults():
     assert args.jobs == 1
     assert args.results_dir is None
     assert args.resume is False
+    assert args.timeout is None
+    assert args.retries is None
+    assert args.kill_workers == 0.0
+    assert args.paranoid is False
+
+
+def test_cli_supervision_flag_validation():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig3", "--timeout", "0"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig3", "--retries", "-1"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig3", "--kill-workers", "1.5"])
+    args = parser.parse_args(
+        ["run", "fig3", "--timeout", "2.5", "--retries", "0",
+         "--kill-workers", "0.25", "--paranoid"])
+    assert (args.timeout, args.retries) == (2.5, 0)
+    assert args.kill_workers == 0.25 and args.paranoid
 
 
 def test_every_declared_sweep_has_a_cell_runner():
@@ -139,6 +158,16 @@ def test_cli_run_persists_and_resumes(tmp_path, capsys):
     assert main(["run", "fig3", *scale_args, "--resume"]) == 0
     second = capsys.readouterr().out
     assert "executed=0 cached=4" in second
+    # A fully-cached resume is labelled, with the stored wall time the
+    # cells originally cost (never a near-zero "run time").
+    assert "cached, 0 executed" in second
+    assert "originally" in second
+
+
+def test_cli_summary_reports_supervision_counts(capsys):
+    assert main(["run", "fig3", "--scale", "16", "--timeout", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "retried=0 quarantined=0" in out
 
 
 def test_run_experiment_accepts_exec_kwargs():

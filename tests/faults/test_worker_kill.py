@@ -1,0 +1,73 @@
+"""The worker-kill chaos fault: deterministic, bounded, opt-in.
+
+``should_kill_worker`` is a pure function of (config, cell id, seed,
+attempt): the supervisor consults it in the worker process before the
+cell runs, and the answer must replay identically so that surviving
+attempts stay bit-identical and CI chaos runs are reproducible.
+"""
+
+import pytest
+
+from repro.config import FaultConfig
+from repro.errors import ConfigError
+from repro.faults.plan import should_kill_worker
+
+KILLER = FaultConfig(enabled=True, worker_kill_rate=1.0)
+
+
+def test_rate_one_kills_the_first_attempt():
+    assert should_kill_worker(KILLER, "c0", seed=1, attempt=1)
+
+
+def test_attempts_beyond_the_cap_are_spared():
+    # worker_kill_max_attempt defaults to 1: a retry always recovers.
+    assert not should_kill_worker(KILLER, "c0", seed=1, attempt=2)
+    assert not should_kill_worker(KILLER, "c0", seed=1, attempt=5)
+
+
+def test_raising_the_cap_extends_the_chaos():
+    config = FaultConfig(enabled=True, worker_kill_rate=1.0,
+                         worker_kill_max_attempt=3)
+    assert should_kill_worker(config, "c0", seed=1, attempt=3)
+    assert not should_kill_worker(config, "c0", seed=1, attempt=4)
+
+
+def test_rate_zero_never_kills():
+    config = FaultConfig(enabled=True)
+    assert not should_kill_worker(config, "c0", seed=1, attempt=1)
+
+
+def test_disabled_config_never_kills():
+    config = FaultConfig(enabled=False, worker_kill_rate=1.0)
+    assert not should_kill_worker(config, "c0", seed=1, attempt=1)
+
+
+def test_decision_is_deterministic_per_cell_and_seed():
+    config = FaultConfig(enabled=True, worker_kill_rate=0.5)
+    draws = [
+        [should_kill_worker(config, f"c{i}", seed=7, attempt=1)
+         for i in range(64)]
+        for _ in range(3)
+    ]
+    assert draws[0] == draws[1] == draws[2]
+    # A 0.5 rate over 64 cells kills some and spares some.
+    assert any(draws[0]) and not all(draws[0])
+
+
+def test_different_seeds_draw_independently():
+    config = FaultConfig(enabled=True, worker_kill_rate=0.5)
+    a = [should_kill_worker(config, f"c{i}", seed=1, attempt=1)
+         for i in range(64)]
+    b = [should_kill_worker(config, f"c{i}", seed=2, attempt=1)
+         for i in range(64)]
+    assert a != b
+
+
+def test_worker_kill_config_validation():
+    with pytest.raises(ConfigError):
+        FaultConfig(worker_kill_rate=1.5).validate()
+    with pytest.raises(ConfigError):
+        FaultConfig(worker_kill_rate=-0.1).validate()
+    with pytest.raises(ConfigError):
+        FaultConfig(worker_kill_max_attempt=0).validate()
+    FaultConfig(worker_kill_rate=0.5, worker_kill_max_attempt=2).validate()
