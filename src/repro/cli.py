@@ -20,6 +20,13 @@ worker is retried before the cell is quarantined as an explicit hole,
 and ``--kill-workers RATE`` injects deterministic worker-process
 deaths to exercise exactly that recovery path.  ``--paranoid`` turns
 on the runtime invariant auditor inside every simulation.
+
+``--trace`` records a structured event trace per cell (composing with
+``--jobs``, ``--resume``, and ``--paranoid``); the ``trace``
+subcommand exports stored traces as Chrome trace-event JSON, re-derives
+the paper's root-cause counts from events (cross-checked against the
+counters), and ranks the guest operations that caused the most
+host-side work.
 """
 
 from __future__ import annotations
@@ -130,6 +137,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the invariant auditor inside every simulation "
              "(frame conservation, EPT/mapper consistency, clock "
              "monotonicity); violations crash the cell")
+    run.add_argument(
+        "--trace", nargs="?", const="full", default=None,
+        choices=("full", "sampled"), metavar="MODE",
+        help="record a structured event trace per cell (stored with "
+             "the cell result); MODE is 'full' (default) or 'sampled' "
+             "(every 8th top-level span)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect traces recorded by 'run --trace' (export / "
+             "analyze / top-spans)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    for name, help_text in (
+            ("export", "write a Chrome trace-event JSON file "
+                       "(chrome://tracing, Perfetto)"),
+            ("analyze", "re-derive the paper's root-cause counts from "
+                        "events and cross-check them against Counters"),
+            ("top-spans", "guest operations that caused the most "
+                          "host-side events")):
+        cmd = trace_sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "experiment", help="experiment id (see 'list')")
+        cmd.add_argument(
+            "--results-dir", required=True,
+            help="store the traced cells were persisted to")
+        cmd.add_argument(
+            "--scale", type=_positive_int, default=DEFAULT_SCALE,
+            help="size divisor the traced run used (default: 4)")
+        if name == "export":
+            cmd.add_argument(
+                "--out", default=None, metavar="PATH",
+                help="output path (default: <experiment>-trace.json)")
+        if name == "top-spans":
+            cmd.add_argument(
+                "--limit", type=_positive_int, default=10,
+                help="spans to show per cell (default: 10)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -173,6 +216,10 @@ def _run_one(experiment_id: str, scale: int, *, executor=None,
     print(f"[{experiment_id}: regenerated in {elapsed:.1f}s wall time; "
           f"cells={cells} executed={executed} cached={cached} "
           f"retried={retried} quarantined={quarantined}{note}]")
+    if stats and stats.cached_traceless:
+        print(f"[{experiment_id}: trace unavailable (cached) for "
+              f"{stats.cached_traceless} cell(s); re-run without "
+              f"--resume to record traces]")
     print()
     return cells, executed, cached, retried, quarantined, cached_wall
 
@@ -185,6 +232,7 @@ def _run_command(args: argparse.Namespace) -> int:
     from repro.exec.executor import make_executor
     from repro.exec.store import ResultStore
     from repro.faults.plan import set_default_fault_config
+    from repro.trace import set_tracing
 
     if args.resume and not args.results_dir:
         raise ConfigError(
@@ -204,6 +252,8 @@ def _run_command(args: argparse.Namespace) -> int:
         set_default_fault_config(plan)
     if args.paranoid:
         set_paranoid(True)
+    if args.trace:
+        set_tracing(args.trace)
     try:
         if args.experiment == "all":
             totals = [0, 0, 0, 0, 0, 0.0]
@@ -222,6 +272,44 @@ def _run_command(args: argparse.Namespace) -> int:
     finally:
         set_default_fault_config(None)
         set_paranoid(False)
+        set_tracing(None)
+    return 0
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.exec.store import ResultStore
+    from repro.trace.tools import (
+        analyze_experiment,
+        export_experiment,
+        top_spans_report,
+    )
+
+    store = ResultStore(args.results_dir)
+    if args.trace_command == "export":
+        out = Path(args.out if args.out
+                   else f"{args.experiment}-trace.json")
+        path, notes = export_experiment(
+            store, args.experiment, scale=args.scale, out=out)
+        for note in notes:
+            print(f"[{args.experiment}: {note}]")
+        print(f"wrote {path}")
+        return 0
+    if args.trace_command == "analyze":
+        report = analyze_experiment(
+            store, args.experiment, scale=args.scale)
+        print(report.rendered)
+        for note in report.notes:
+            print(f"[{args.experiment}: {note}]")
+        for mismatch in report.mismatches:
+            print(f"MISMATCH {mismatch}", file=sys.stderr)
+        return 0 if report.ok else 1
+    rendered, notes = top_spans_report(
+        store, args.experiment, scale=args.scale, limit=args.limit)
+    print(rendered)
+    for note in notes:
+        print(f"[{args.experiment}: {note}]")
     return 0
 
 
@@ -249,6 +337,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 1
         print(result.rendered)
         return 0
+
+    if args.command == "trace":
+        try:
+            return _trace_command(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
 
     try:
         return _run_command(args)

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.errors import ConsistencyError, DegradedError
+from repro.trace.collector import NULL_TRACE
 
 
 class TrackState(enum.Enum):
@@ -54,6 +55,10 @@ class SwapMapper:
         #: Circuit-breaker fallback (Section 4.1): once disabled, no new
         #: associations are built and the VM swaps like the baseline.
         self.disabled = False
+        #: Trace collector plus the owning VM's name; wired by the
+        #: machine under ``--trace``.
+        self.trace = NULL_TRACE
+        self.trace_vm: str | None = None
 
     # ------------------------------------------------------------------
     # building and breaking associations
@@ -76,6 +81,9 @@ class SwapMapper:
         self._by_gpa[gpa] = assoc
         self._by_block[block] = assoc
         self.peak_tracked = max(self.peak_tracked, len(self._by_gpa))
+        if self.trace.enabled:
+            self.trace.emit("mapper.name", vm=self.trace_vm,
+                            gpa=gpa, block=block)
 
     def drop_gpa(self, gpa: int) -> bool:
         """Remove any association of ``gpa``; True if one existed."""
@@ -83,6 +91,9 @@ class SwapMapper:
         if assoc is None:
             return False
         del self._by_block[assoc.block]
+        if self.trace.enabled:
+            self.trace.emit("mapper.drop", vm=self.trace_vm,
+                            gpa=gpa, block=assoc.block)
         return True
 
     def break_cow(self, gpa: int) -> bool:
@@ -132,6 +143,9 @@ class SwapMapper:
         if assoc.state is TrackState.DISCARDED:
             raise ConsistencyError(f"double discard of page {gpa:#x}")
         assoc.state = TrackState.DISCARDED
+        if self.trace.enabled:
+            self.trace.emit("mapper.discard", vm=self.trace_vm,
+                            gpa=gpa, block=assoc.block)
         return assoc.block
 
     def mark_refaulted(self, gpa: int) -> int:
@@ -141,6 +155,9 @@ class SwapMapper:
             raise ConsistencyError(
                 f"refault of page {gpa:#x} that was not discarded")
         assoc.state = TrackState.RESIDENT
+        if self.trace.enabled:
+            self.trace.emit("mapper.reread", vm=self.trace_vm,
+                            gpa=gpa, block=assoc.block)
         return assoc.block
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 from repro.disk.latency import LatencyModel
 from repro.errors import DiskError, FaultError
 from repro.sim.clock import Clock
+from repro.trace.collector import NULL_TRACE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
@@ -58,6 +59,9 @@ class DiskDevice:
         self.max_write_backlog = max_write_backlog
         #: Optional deterministic fault schedule (chaos layer).
         self.faults = faults
+        #: Trace collector; the machine swaps in a live one under
+        #: ``--trace``.
+        self.trace = NULL_TRACE
         self.stats = DiskStats()
         self._busy_until = 0.0
         self._head_sector = 0
@@ -103,6 +107,16 @@ class DiskDevice:
 
         self._busy_until = completion
         self._head_sector = start_sector + nsectors
+        if self.trace.enabled:
+            self.trace.emit(
+                "disk.submit", sector=start_sector, sectors=nsectors,
+                write=write, region=region)
+            # The request leaves the head in the virtual future; the
+            # completion record is stamped there so span timelines show
+            # the device draining after the triggering guest op.
+            self.trace.emit(
+                "disk.complete", at=completion, sector=start_sector,
+                region=region)
         return completion, completion - now
 
     def _inject_faults(self, service: float, *, write: bool) -> float:

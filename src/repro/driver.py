@@ -74,13 +74,21 @@ class VmDriver:
             self.finished_at = now
             return None
 
+        trace = self.machine.trace
         if isinstance(op, MarkPhase):
             if self.machine.auditor is not None:
                 self.machine.auditor.on_phase(op.name)
+            if trace.enabled:
+                trace.emit("phase.mark", vm=self.vm.name, name=op.name)
             if self.phase_callback is not None:
                 self.phase_callback(op.name, dict(op.payload), now)
 
         self.vm.costs.reset()
+        # Each guest operation opens a causal span: every host-side
+        # event it triggers (faults, swap I/O, reclaim scans) is born
+        # inside it, linking consequence back to cause.
+        sid = (trace.begin_span(type(op).__name__, vm=self.vm.name)
+               if trace.enabled else 0)
         try:
             # Balloon work runs on the guest's own time: inflating
             # means reclaiming (and possibly swapping) right here,
@@ -93,6 +101,9 @@ class VmDriver:
             self.crashed = True
             self.finished_at = now
             return None
+        finally:
+            if trace.enabled:
+                trace.end_span(sid)
         return self.vm.costs.duration(self.vm.fault_overlap)
 
     @property

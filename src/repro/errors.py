@@ -98,3 +98,13 @@ class ConsistencyError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured or produced no data."""
+
+
+class TraceError(ReproError):
+    """The trace subsystem caught an inconsistency.
+
+    Raised by the :class:`~repro.trace.analyzer.TraceAnalyzer` when the
+    root-cause counts it re-derives from the event stream disagree with
+    the independently maintained counters -- either the instrumentation
+    or the accounting is wrong, and both claim to describe the same run.
+    """

@@ -111,12 +111,15 @@ class SerialExecutor:
         return results
 
 
-def _init_pool_worker(paranoid: bool) -> None:
-    """Pool-worker initializer: carry the ambient paranoid flag across
-    the process boundary (fork inherits it, spawn would not)."""
+def _init_pool_worker(paranoid: bool, trace_mode: str | None) -> None:
+    """Pool-worker initializer: carry the ambient paranoid and tracing
+    flags across the process boundary (fork inherits them, spawn would
+    not)."""
     from repro.audit import set_paranoid
+    from repro.trace import set_tracing
 
     set_paranoid(paranoid)
+    set_tracing(trace_mode)
 
 
 class ParallelExecutor:
@@ -137,6 +140,7 @@ class ParallelExecutor:
                   ) -> list[tuple[RunResult, float]]:
         """(result, wall seconds) per spec, in submission order."""
         from repro.audit import paranoid_enabled
+        from repro.trace import tracing_mode
 
         specs = list(specs)
         workers = min(self.jobs, len(specs))
@@ -144,7 +148,7 @@ class ParallelExecutor:
             return SerialExecutor().run_cells(specs, on_cell)
         with ProcessPoolExecutor(
                 max_workers=workers, initializer=_init_pool_worker,
-                initargs=(paranoid_enabled(),)) as pool:
+                initargs=(paranoid_enabled(), tracing_mode())) as pool:
             futures = [pool.submit(_timed_execute, spec) for spec in specs]
             if on_cell is not None:
                 spec_of = dict(zip(futures, specs))
@@ -205,6 +209,9 @@ class SweepOutcome:
     #: Cell id -> wall seconds the store recorded when each cache-hit
     #: cell originally executed.
     cached_wall_seconds: dict[str, float] = field(default_factory=dict)
+    #: Cache hits whose stored result has no trace although tracing was
+    #: requested this run (trace unavailable (cached)).
+    cached_traceless: int = 0
 
     @property
     def stats(self) -> SweepStats:
@@ -218,6 +225,7 @@ class SweepOutcome:
             retried=self.retried,
             quarantined=len(self.failures),
             cached_wall_seconds=sum(self.cached_wall_seconds.values()),
+            cached_traceless=self.cached_traceless,
         )
 
 
@@ -267,12 +275,22 @@ def run_sweep(sweep: Sweep, *,
         spec.cell_id: (cached.get(spec.cell_id) or fresh[spec.cell_id])
         for spec in sweep.cells
     }
+    from repro.trace import tracing_mode
+    cached_traceless = 0
+    if tracing_mode() is not None:
+        # Tracing is not part of the cell hash, so a traced --resume can
+        # hit entries recorded without it; flag them rather than pretend
+        # an empty trace was captured.
+        cached_traceless = sum(
+            1 for result in cached.values()
+            if getattr(result, "trace", None) is None)
     return SweepOutcome(
         sweep=sweep, results=results, wall_seconds=walls,
         executed=len(fresh) - len(failures), cached=len(cached),
         failures=failures,
         retried=len(getattr(executor, "retried_cells", ())),
-        cached_wall_seconds=cached_walls)
+        cached_wall_seconds=cached_walls,
+        cached_traceless=cached_traceless)
 
 
 def finish_figure(figure: FigureResult,

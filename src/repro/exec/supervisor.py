@@ -128,7 +128,7 @@ class SupervisorConfig:
 
 
 def _supervised_worker(conn: Connection, spec_dict: dict, attempt: int,
-                       paranoid: bool) -> None:
+                       paranoid: bool, trace_mode: str | None) -> None:
     """Worker-process body: run one cell attempt, report on the pipe.
 
     Every outcome is reported as a tagged tuple; the parent treats a
@@ -141,9 +141,11 @@ def _supervised_worker(conn: Connection, spec_dict: dict, attempt: int,
     from repro.audit import set_paranoid
     from repro.exec.executor import _timed_execute
     from repro.faults.plan import should_kill_worker
+    from repro.trace import set_tracing
 
     try:
         set_paranoid(paranoid)
+        set_tracing(trace_mode)
         spec = CellSpec.from_dict(spec_dict)
         chaos = faults_from_params(spec.faults)
         if chaos is not None and should_kill_worker(
@@ -225,12 +227,14 @@ class CellSupervisor:
     ) -> list[tuple[RunResult | CellFailure, float]]:
         """(outcome, wall seconds) per spec, in submission order."""
         from repro.audit import paranoid_enabled
+        from repro.trace import tracing_mode
 
         specs = list(specs)
         self.retried_cells = []
         if not specs:
             return []
         paranoid = paranoid_enabled()
+        trace_mode = tracing_mode()
         outcomes: dict[int, tuple[RunResult | CellFailure, float]] = {}
         #: Wall seconds burned by failed attempts, per cell index.
         burned: dict[int, float] = {}
@@ -240,7 +244,7 @@ class CellSupervisor:
 
         while queue or running:
             now = time.monotonic()
-            self._launch_ready(queue, running, now, paranoid)
+            self._launch_ready(queue, running, now, paranoid, trace_mode)
             self._wait(queue, running, now)
             now = time.monotonic()
             for worker in list(running):
@@ -256,7 +260,8 @@ class CellSupervisor:
     # ------------------------------------------------------------------
 
     def _launch_ready(self, queue: list[_Pending], running: list[_Running],
-                      now: float, paranoid: bool) -> None:
+                      now: float, paranoid: bool,
+                      trace_mode: str | None) -> None:
         """Start waiting cells, oldest first, up to the jobs cap.
 
         A cell sitting out its backoff does not block later cells from
@@ -272,7 +277,7 @@ class CellSupervisor:
             process = mp.Process(
                 target=_supervised_worker,
                 args=(child_conn, pending.spec.to_dict(), pending.attempt,
-                      paranoid),
+                      paranoid, trace_mode),
                 daemon=True)
             process.start()
             child_conn.close()  # the worker holds the only write end

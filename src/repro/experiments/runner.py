@@ -33,6 +33,7 @@ from repro.errors import (
 )
 from repro.machine import Machine
 from repro.metrics.timeline import Timeline
+from repro.trace.events import TraceData
 from repro.units import mib_pages
 from repro.workloads.base import Workload
 
@@ -144,6 +145,9 @@ class RunResult:
     #: ``"ErrorType: message"`` when ``crashed`` came from an exception
     #: the runner caught (None for clean runs and OOM-kill crashes).
     crash_reason: str | None = None
+    #: Structured event trace; recorded only under ``--trace`` (None
+    #: otherwise, and None for results cached from untraced runs).
+    trace: TraceData | None = None
 
     @property
     def status(self) -> str:
@@ -202,6 +206,8 @@ class RunResult:
             "timeline": timeline,
             "degraded": self.degraded,
             "crash_reason": self.crash_reason,
+            "trace": self.trace.to_dict() if self.trace is not None
+            else None,
         }
 
     @classmethod
@@ -219,6 +225,8 @@ class RunResult:
             timeline=timeline,
             degraded=data["degraded"],
             crash_reason=data.get("crash_reason"),
+            trace=(TraceData.from_dict(data["trace"])
+                   if data.get("trace") is not None else None),
         )
 
 
@@ -241,6 +249,9 @@ class SweepStats:
     #: regenerating them originally cost, so resume summaries do not
     #: read as near-zero "run time".
     cached_wall_seconds: float = 0.0
+    #: Cache-hit cells whose stored result carries no trace while this
+    #: run asked for tracing (the "trace unavailable (cached)" note).
+    cached_traceless: int = 0
 
     @property
     def all_cached(self) -> bool:
@@ -372,7 +383,8 @@ class SingleVmExperiment:
         except GuestOomKill as error:
             # Over-ballooning killed the workload during static setup.
             return RunResult(spec.name, None, True, {}, phases,
-                             crash_reason=f"GuestOomKill: {error}")
+                             crash_reason=f"GuestOomKill: {error}",
+                             trace=machine.trace.finish())
 
         def on_phase(name: str, payload: dict, time: float) -> None:
             phases.append(
@@ -406,11 +418,13 @@ class SingleVmExperiment:
             return RunResult(
                 spec.name, None, True, vm.counters.snapshot(), phases,
                 timeline, degraded=vm.degraded,
-                crash_reason=f"{type(error).__name__}: {error}")
+                crash_reason=f"{type(error).__name__}: {error}",
+                trace=machine.trace.finish())
         runtime = None if driver.crashed else driver.runtime
         return RunResult(
             spec.name, runtime, driver.crashed,
-            vm.counters.snapshot(), phases, timeline, degraded=vm.degraded)
+            vm.counters.snapshot(), phases, timeline, degraded=vm.degraded,
+            trace=machine.trace.finish())
 
     def _register_gauges(self, timeline: Timeline, machine: Machine,
                          vm) -> None:

@@ -31,6 +31,7 @@ from repro.mem.page import ZERO, AnonContent, PageContent
 from repro.host.vm import Vm, code_key
 from repro.sim.clock import Clock
 from repro.sim.ops import WritePattern
+from repro.trace.collector import NULL_TRACE
 from repro.units import SECTORS_PER_PAGE
 
 
@@ -62,6 +63,9 @@ class Hypervisor:
         #: Runtime invariant auditor; attached by the machine under
         #: --paranoid, None otherwise.
         self.auditor = None
+        #: Trace collector; the machine swaps in a live one under
+        #: ``--trace``.
+        self.trace = NULL_TRACE
 
     def register_vm(self, vm: Vm) -> None:
         """Add a VM to the reclaim population."""
@@ -120,6 +124,9 @@ class Hypervisor:
                 gpa, pattern, self.clock.now)
             vm.costs.cpu(preventer.emulation_cost(pattern))
             vm.counters.preventer_emulated_writes += 1
+            if self.trace.enabled:
+                self.trace.emit("preventer.emulate", vm=vm.name,
+                                gpa=gpa, verdict=verdict.name)
             if verdict is OverwriteVerdict.REMAP:
                 self._drop_old_backing(vm, gpa)
                 self._map_fresh(vm, gpa, context)
@@ -138,6 +145,8 @@ class Hypervisor:
 
         self._fault_in(vm, gpa, context)
         vm.counters.false_reads += 1
+        if self.trace.enabled:
+            self.trace.emit("fault.false_read", vm=vm.name, gpa=gpa)
         vm.ept.mark_accessed(gpa, write=True)
         self._guest_store(vm, gpa, new_content)
 
@@ -293,12 +302,16 @@ class Hypervisor:
                 vm.mapper.drop_gpa(gpa)
             vm.set_content(gpa, ZERO)
             vm.ballooned.add(gpa)
+        if self.trace.enabled:
+            self.trace.emit("balloon.pin", vm=vm.name, pages=len(gpas))
         vm.refresh_gauges()
 
     def balloon_unpin(self, vm: Vm, gpas: list[int]) -> None:
         """Balloon deflation: pages return to the guest, content undefined."""
         for gpa in gpas:
             vm.ballooned.discard(gpa)
+        if self.trace.enabled:
+            self.trace.emit("balloon.unpin", vm=vm.name, pages=len(gpas))
 
     def page_needs_zeroing(self, vm: Vm, gpa: int) -> bool:
         """Whether a free guest page holds stale non-zero bytes
@@ -329,6 +342,9 @@ class Hypervisor:
             vm.counters.host_context_faults += 1
         if stale:
             vm.counters.stale_reads += 1
+        if self.trace.enabled:
+            self.trace.emit("fault.major", vm=vm.name, gpa=gpa,
+                            context=context, stale=stale)
         self._touch_code(vm, self.cfg.code_pages_per_fault)
         if gpa in vm.swap_slots:
             self._swap_in(vm, gpa, context)
@@ -378,6 +394,9 @@ class Hypervisor:
         self._charge_stall(vm, stall, context)
         vm.counters.disk_ops += 1
         vm.counters.swap_sectors_read += nsectors
+        if self.trace.enabled:
+            self.trace.emit("swap.in", vm=vm.name, gpa=gpa, slot=slot,
+                            pages=len(on_disk), sectors=nsectors)
 
         self._make_room(vm, len(on_disk), context)
         for s, g in on_disk:
@@ -572,8 +591,12 @@ class Hypervisor:
             vm.pending_swap[gpa] = slot
             content = vm.content_of(gpa)
             block = getattr(content, "block", None)
-            if block is not None and vm.image.matches(block, content):
+            silent = block is not None and vm.image.matches(block, content)
+            if silent:
                 vm.counters.silent_swap_writes += 1
+            if self.trace.enabled:
+                self.trace.emit("swap.out", vm=vm.name, gpa=gpa,
+                                slot=slot, silent=silent)
         if len(vm.pending_swap) >= self.cfg.swap_writeback_batch_pages:
             self._flush_swap_writes(vm)
 
@@ -628,6 +651,9 @@ class Hypervisor:
             vm.counters.hypervisor_code_faults += 1
             cached = (self.rng is not None
                       and self.rng.chance(self.cfg.code_cache_hit_rate))
+            if self.trace.enabled:
+                self.trace.emit("fault.code", vm=vm.name,
+                                index=index, cached=cached)
             if cached:
                 # The binary is shared (other QEMUs, host daemons): the
                 # page is usually still in the host page cache, so the
@@ -673,6 +699,9 @@ class Hypervisor:
         The merged page no longer equals any disk block, so a Mapper
         association is dropped rather than refaulted.
         """
+        if self.trace.enabled:
+            self.trace.emit("preventer.merge", vm=vm.name,
+                            gpa=gpa, sync=sync)
         slot = vm.swap_slots.pop(gpa, None)
         mapper = vm.mapper
         if slot is not None and gpa in vm.pending_swap:

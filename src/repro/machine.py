@@ -28,6 +28,8 @@ from repro.metrics.counters import Counters
 from repro.sim.engine import Engine
 from repro.sim.ops import WritePattern
 from repro.sim.rng import DeterministicRng
+from repro.trace import tracing_mode
+from repro.trace.collector import NULL_TRACE, TraceCollector
 from repro.units import mib_pages
 
 
@@ -96,6 +98,15 @@ class Machine:
         self.vms: list[Vm] = []
         self._next_code_base = 0
 
+        #: Trace collector; live only under --trace (the ambient mode),
+        #: so ordinary runs keep the no-op emit path.
+        mode = tracing_mode()
+        self.trace = (TraceCollector(self.engine.clock, mode=mode)
+                      if mode is not None else NULL_TRACE)
+        self.engine.trace = self.trace
+        self.disk.trace = self.trace
+        self.hypervisor.trace = self.trace
+
         #: Runtime invariant auditor; installed only under --paranoid
         #: (the ambient flag), so ordinary runs pay nothing.
         self.auditor: InvariantAuditor | None = (
@@ -130,6 +141,11 @@ class Machine:
             image.size_blocks, self.rng.fork(f"guest-{vm_config.name}"))
         self.hypervisor.register_vm(vm)
         self.vms.append(vm)
+        vm.scanner.trace = self.trace
+        vm.scanner.trace_vm = vm_config.name
+        if vm.mapper is not None:
+            vm.mapper.trace = self.trace
+            vm.mapper.trace_vm = vm_config.name
 
         if vm_config.static_balloon_pages:
             self.apply_static_balloon(vm, vm_config.static_balloon_pages)
@@ -168,6 +184,9 @@ class Machine:
         vm.costs.reset()
         vm.counters = Counters()
         self.disk.quiesce()
+        # Boot history is untimed setup: drop its events too, so the
+        # analyzer's counts line up with the reset counters bit-exactly.
+        self.trace.reset()
 
     def apply_static_balloon(self, vm: Vm, pages: int) -> None:
         """Pre-inflate the balloon before the workload starts.

@@ -15,6 +15,7 @@ from typing import Callable, Hashable
 
 from repro.errors import MemoryError_
 from repro.mem.lru import ClockList
+from repro.trace.collector import NULL_TRACE
 
 
 @dataclass
@@ -58,6 +59,10 @@ class ReclaimScanner:
         self._referenced_raw = referenced
         self._noise = noise
         self._noise_rng = noise_rng
+        #: Trace collector plus the VM name scans are attributed to;
+        #: wired by the machine for host-side scanners under ``--trace``.
+        self.trace = NULL_TRACE
+        self.trace_vm: str | None = None
 
     def _referenced(self, key: Hashable) -> bool:
         """Referenced probe with DMA protection and sampling noise.
@@ -146,4 +151,8 @@ class ReclaimScanner:
                 remaining, self._unevictable)
             result.examined += examined
             result.victims.extend((key, True) for key in forced)
+        if self.trace.enabled:
+            self.trace.emit(
+                "reclaim.scan", vm=self.trace_vm,
+                examined=result.examined, victims=len(result.victims))
         return result

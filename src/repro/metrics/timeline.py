@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class Sample:
@@ -28,7 +30,17 @@ class Timeline:
     _gauges: dict[str, Callable[[], float]] = field(default_factory=dict)
 
     def register(self, series: str, gauge: Callable[[], float]) -> None:
-        """Attach a gauge callable whose value is read on each sweep."""
+        """Attach a gauge callable whose value is read on each sweep.
+
+        Re-registering the same callable is an idempotent no-op;
+        registering a *different* callable under an existing name would
+        silently replace the series' meaning, so it raises instead.
+        """
+        existing = self._gauges.get(series)
+        if existing is not None and existing is not gauge:
+            raise ConfigError(
+                f"gauge series {series!r} is already registered with a "
+                f"different callable")
         self._gauges[series] = gauge
 
     def record(self, time: float, series: str, value: float) -> None:

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.clock import Clock
+from repro.trace.collector import NULL_TRACE
 
 #: An engine callback; receives no arguments, returns nothing.
 Callback = Callable[[], None]
@@ -42,6 +43,9 @@ class Engine:
         self.max_events = max_events
         self.max_virtual_time = max_virtual_time
         self.events_dispatched = 0
+        #: Trace collector; the machine swaps in a live one under
+        #: ``--trace``.
+        self.trace = NULL_TRACE
 
     @property
     def now(self) -> float:
@@ -97,6 +101,10 @@ class Engine:
     def stop(self) -> None:
         """Halt the engine: the run loop dispatches no further events
         and periodic tasks stop rescheduling.  Sticky."""
+        if not self._stopped and self.trace.enabled:
+            self.trace.emit("engine.stop",
+                            pending=len(self._heap),
+                            dispatched=self.events_dispatched)
         self._stopped = True
 
     @property
@@ -117,11 +125,15 @@ class Engine:
                 break
             if (self.max_virtual_time is not None
                     and at > self.max_virtual_time):
+                if self.trace.enabled:
+                    self.trace.emit("engine.watchdog", limit="virtual-time")
                 raise SimulationError(
                     f"watchdog: virtual time {at:.3f}s exceeds limit "
                     f"{self.max_virtual_time:.3f}s; {self._dump_pending()}")
             if (self.max_events is not None
                     and self.events_dispatched >= self.max_events):
+                if self.trace.enabled:
+                    self.trace.emit("engine.watchdog", limit="events")
                 raise SimulationError(
                     f"watchdog: dispatched {self.events_dispatched} events "
                     f"(limit {self.max_events}); {self._dump_pending()}")

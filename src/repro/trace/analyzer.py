@@ -1,0 +1,152 @@
+"""Root-cause analysis over the event stream.
+
+The paper attributes uncooperative swapping's slowdown to five concrete
+pathologies.  Each has a dedicated event signature, so the analyzer can
+re-derive the counts *from the trace alone* and cross-check them
+against the independently maintained :class:`~repro.metrics.counters.
+Counters` -- a disagreement means either the instrumentation or the
+counter accounting is lying, which turns the trace into correctness
+tooling rather than logging.
+
+=============================  ========================================
+root cause                     event signature
+=============================  ========================================
+``silent_swap_writes``         ``swap.out`` with ``silent=True``
+``stale_reads``                ``fault.major`` with ``stale=True``
+``false_reads``                ``fault.false_read``
+``guest_context_faults``       ``fault.major`` with ``context="guest"``
+                               (growth across iterations = decayed
+                               swap sequentiality, Fig. 9c)
+``hypervisor_code_faults``     ``fault.code`` (false page anonymity)
+=============================  ========================================
+
+The exact cross-check requires a *complete* trace: ``"full"`` mode and
+no ring evictions.  A sampled or clipped trace still yields counts,
+but :meth:`TraceAnalyzer.cross_check` refuses to call them exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import TraceError
+from repro.trace.events import Span, TraceData, TraceEvent
+
+#: The five root causes, in the paper's presentation order.
+ROOT_CAUSES = (
+    "silent_swap_writes",
+    "stale_reads",
+    "false_reads",
+    "guest_context_faults",
+    "hypervisor_code_faults",
+)
+
+
+def _count(events: Iterable[TraceEvent]) -> dict[str, int]:
+    counts = dict.fromkeys(ROOT_CAUSES, 0)
+    for event in events:
+        if event.kind == "swap.out":
+            if event.args.get("silent"):
+                counts["silent_swap_writes"] += 1
+        elif event.kind == "fault.major":
+            if event.args.get("stale"):
+                counts["stale_reads"] += 1
+            if event.args.get("context") == "guest":
+                counts["guest_context_faults"] += 1
+        elif event.kind == "fault.false_read":
+            counts["false_reads"] += 1
+        elif event.kind == "fault.code":
+            counts["hypervisor_code_faults"] += 1
+    return counts
+
+
+class TraceAnalyzer:
+    """Derive the paper's root-cause counts from one or more traces."""
+
+    def __init__(self, traces: Sequence[TraceData] | TraceData) -> None:
+        if isinstance(traces, TraceData):
+            traces = [traces]
+        self.traces = list(traces)
+        if not self.traces:
+            raise TraceError("no traces to analyze")
+
+    # ------------------------------------------------------------------
+    # root causes
+    # ------------------------------------------------------------------
+
+    def root_causes(self) -> dict[str, int]:
+        """The five pathology counts, summed over all traces."""
+        totals = dict.fromkeys(ROOT_CAUSES, 0)
+        for trace in self.traces:
+            for name, value in _count(trace.events).items():
+                totals[name] += value
+        return totals
+
+    def completeness_issues(self) -> list[str]:
+        """Why the counts cannot be exact (empty when they can)."""
+        issues: list[str] = []
+        for index, trace in enumerate(self.traces):
+            if trace.mode != "full":
+                issues.append(
+                    f"trace {index}: recorded in {trace.mode!r} mode "
+                    f"({trace.sampled_out} spans sampled out)")
+            if trace.dropped:
+                issues.append(
+                    f"trace {index}: ring evicted {trace.dropped} "
+                    f"records (capacity cap)")
+        return issues
+
+    def cross_check(self, counters: Mapping[str, int]) -> list[str]:
+        """Compare trace-derived counts against ``counters``.
+
+        Returns one human-readable line per disagreement (empty when
+        the counts match bit-exactly).  An incomplete trace is itself a
+        disagreement: its counts are lower bounds, not the truth.
+        """
+        issues = self.completeness_issues()
+        if issues:
+            return [f"exact cross-check impossible: {issue}"
+                    for issue in issues]
+        derived = self.root_causes()
+        return [
+            f"{name}: trace says {derived[name]}, "
+            f"counters say {counters.get(name, 0)}"
+            for name in ROOT_CAUSES
+            if derived[name] != counters.get(name, 0)
+        ]
+
+    def verify(self, counters: Mapping[str, int]) -> dict[str, int]:
+        """Exact cross-check that raises instead of reporting.
+
+        Returns the derived counts on success; raises
+        :class:`~repro.errors.TraceError` listing every mismatch.
+        """
+        mismatches = self.cross_check(counters)
+        if mismatches:
+            raise TraceError(
+                "trace/counter cross-check failed: "
+                + "; ".join(mismatches))
+        return self.root_causes()
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+
+    def top_spans(self, limit: int = 10) -> list[tuple[Span, int]]:
+        """The costliest spans: ``(span, caused_events)`` pairs ranked
+        by how many events they caused, then by duration.
+
+        This is the "which guest read triggered which host work"
+        question the aggregate counters cannot answer.
+        """
+        ranked: list[tuple[Span, int]] = []
+        for trace in self.traces:
+            caused: dict[int, int] = {}
+            for event in trace.events:
+                if event.span is not None:
+                    caused[event.span] = caused.get(event.span, 0) + 1
+            ranked.extend(
+                (span, caused.get(span.sid, 0)) for span in trace.spans)
+        ranked.sort(key=lambda pair: (-pair[1], -pair[0].duration,
+                                      pair[0].begin, pair[0].sid))
+        return ranked[:max(0, limit)]

@@ -1,0 +1,112 @@
+"""Chrome trace-event JSON export (loadable in Perfetto / about:tracing).
+
+One exported document merges any number of per-cell traces: each cell
+becomes one *process* (``pid`` = its index in sweep order, named by a
+metadata record), spans become complete events (``ph: "X"``) and point
+events become thread-scoped instants (``ph: "i"``).  Timestamps are
+microseconds of virtual time.
+
+Determinism: the document is built purely from the (deterministic)
+per-cell :class:`~repro.trace.events.TraceData` in the caller-given
+cell order and serialized with sorted keys, so a parallel sweep's
+merged export is byte-identical to a serial one's -- the property the
+acceptance tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.trace.events import TraceData
+
+
+def _us(seconds: float) -> float:
+    """Virtual seconds -> Chrome's microsecond timebase."""
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace(cells: Sequence[tuple[str, TraceData]]) -> dict:
+    """The Chrome trace-event document for named per-cell traces."""
+    records: list[dict] = []
+    for pid, (label, trace) in enumerate(cells):
+        records.append({
+            "ph": "M", "pid": pid, "tid": 0,
+            "name": "process_name", "args": {"name": label},
+        })
+        for span in trace.spans:
+            end = span.begin if span.end is None else span.end
+            records.append({
+                "ph": "X", "pid": pid, "tid": 0,
+                "name": span.name,
+                "cat": "span",
+                "ts": _us(span.begin),
+                "dur": _us(end - span.begin),
+                "args": {"sid": span.sid, "vm": span.vm},
+            })
+        for event in trace.events:
+            args = dict(event.args)
+            args["seq"] = event.seq
+            if event.vm is not None:
+                args["vm"] = event.vm
+            if event.span is not None:
+                args["sid"] = event.span
+            records.append({
+                "ph": "i", "s": "t", "pid": pid, "tid": 0,
+                "name": event.kind,
+                "cat": event.kind.split(".", 1)[0],
+                "ts": _us(event.time),
+                "args": args,
+            })
+    return {"displayTimeUnit": "ms", "traceEvents": records}
+
+
+def render_chrome_trace(cells: Sequence[tuple[str, TraceData]]) -> str:
+    """The document as canonical JSON text (sorted keys, stable floats)."""
+    return json.dumps(chrome_trace(cells), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(path: str | Path,
+                       cells: Sequence[tuple[str, TraceData]]) -> Path:
+    """Serialize the merged trace to ``path``."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_chrome_trace(cells))
+    return path
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Structural problems in a Chrome trace document (empty = valid).
+
+    Checks the subset of the trace-event format the exporter relies on
+    being loadable: a ``traceEvents`` array whose records carry a
+    phase, a name, and (for non-metadata phases) a numeric timestamp --
+    with durations on complete events.
+    """
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for index, record in enumerate(events):
+        if not isinstance(record, dict):
+            problems.append(f"record {index}: not an object")
+            continue
+        phase = record.get("ph")
+        if phase not in ("M", "X", "i"):
+            problems.append(f"record {index}: unexpected phase {phase!r}")
+            continue
+        if not isinstance(record.get("name"), str):
+            problems.append(f"record {index}: missing name")
+        if phase == "M":
+            continue
+        if not isinstance(record.get("ts"), (int, float)):
+            problems.append(f"record {index}: missing numeric ts")
+        if phase == "X" and not isinstance(
+                record.get("dur"), (int, float)):
+            problems.append(f"record {index}: complete event without dur")
+        if phase == "i" and record.get("s") not in ("t", "p", "g"):
+            problems.append(f"record {index}: instant without scope")
+    return problems

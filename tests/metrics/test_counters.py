@@ -58,3 +58,62 @@ def test_merged_with():
     merged = a.merged_with(b)
     assert merged["stale_reads"] == 5
     assert merged["only_in_b"] == 1
+
+
+def test_delta_since_key_missing_from_snapshot_counts_as_zero():
+    counters = Counters()
+    snap = counters.snapshot()
+    counters.bump("appeared_later", 4)
+    delta = counters.delta_since(snap)
+    assert delta["appeared_later"] == 4
+
+
+def test_delta_since_key_missing_from_current_is_dropped():
+    # A snapshot may carry ad-hoc keys the live counters never bumped
+    # (e.g. taken from a different run); delta iterates current keys.
+    counters = Counters()
+    snap = dict(counters.snapshot(), vanished_key=9)
+    delta = counters.delta_since(snap)
+    assert "vanished_key" not in delta
+
+
+def test_delta_since_all_zero_when_nothing_changed():
+    counters = Counters()
+    counters.stale_reads = 7
+    counters.bump("adhoc", 2)
+    delta = counters.delta_since(counters.snapshot())
+    assert set(delta.values()) == {0}
+
+
+def test_delta_since_empty_snapshot_equals_current():
+    counters = Counters()
+    counters.disk_ops = 3
+    delta = counters.delta_since({})
+    assert delta["disk_ops"] == 3
+    assert delta["stale_reads"] == 0
+
+
+def test_merged_with_extra_only_on_one_side():
+    a = Counters()
+    a.bump("only_in_a", 5)
+    merged = a.merged_with(Counters())
+    assert merged["only_in_a"] == 5
+    merged_rev = Counters().merged_with(a)
+    assert merged_rev["only_in_a"] == 5
+
+
+def test_merged_with_is_commutative_and_keeps_zero_fields():
+    a = Counters()
+    b = Counters()
+    a.false_reads = 1
+    b.bump("adhoc", 2)
+    assert a.merged_with(b) == b.merged_with(a)
+    assert a.merged_with(b)["silent_swap_writes"] == 0
+
+
+def test_merged_with_zero_deltas_do_not_vanish():
+    a = Counters()
+    b = Counters()
+    a.bump("adhoc_zero", 0)
+    merged = a.merged_with(b)
+    assert merged["adhoc_zero"] == 0

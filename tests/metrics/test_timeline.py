@@ -1,5 +1,8 @@
 """Timeline gauges and series extraction."""
 
+import pytest
+
+from repro.errors import ConfigError
 from repro.metrics.timeline import Timeline
 
 
@@ -37,3 +40,33 @@ def test_missing_series_is_empty():
     times, values = Timeline().series("nope")
     assert times == []
     assert values == []
+
+
+def test_duplicate_register_different_gauge_raises():
+    timeline = Timeline()
+    timeline.register("gauge", lambda: 1)
+    with pytest.raises(ConfigError, match="already registered"):
+        timeline.register("gauge", lambda: 2)
+
+
+def test_duplicate_register_same_gauge_is_idempotent():
+    timeline = Timeline()
+
+    def gauge():
+        return 3
+
+    timeline.register("gauge", gauge)
+    timeline.register("gauge", gauge)
+    timeline.sample_all(0.0)
+    _times, values = timeline.series("gauge")
+    assert values == [3.0]
+
+
+def test_register_again_after_freeze_is_allowed():
+    timeline = Timeline()
+    timeline.register("gauge", lambda: 1)
+    timeline.freeze()
+    timeline.register("gauge", lambda: 2)
+    timeline.sample_all(0.0)
+    _times, values = timeline.series("gauge")
+    assert values == [2.0]

@@ -1,0 +1,99 @@
+"""CLI flow: run --trace, then the trace subcommands against the store.
+
+Scale 32 keeps each fig3 cell tiny; the traced run fans out over two
+worker processes so the pool initializer is exercised carrying the
+ambient trace mode across process boundaries.
+"""
+
+import json
+
+from repro.cli import main
+from repro.trace import tracing_mode
+from repro.trace.export import validate_chrome_trace
+
+
+def traced_run(store: str) -> int:
+    # --trace takes an optional MODE, so it must not precede the
+    # experiment positional (argparse would swallow it).
+    return main(["run", "fig3", "--scale", "32", "--jobs", "2",
+                 "--results-dir", store, "--trace"])
+
+
+def test_traced_run_then_export_analyze_top_spans(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert traced_run(store) == 0
+    assert tracing_mode() is None  # ambient flag restored
+    capsys.readouterr()
+
+    out_path = tmp_path / "fig3-trace.json"
+    assert main(["trace", "export", "fig3", "--scale", "32",
+                 "--results-dir", store, "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"wrote {out_path}" in out
+    document = json.loads(out_path.read_text())
+    assert validate_chrome_trace(document) == []
+    assert document["traceEvents"]
+
+    assert main(["trace", "analyze", "fig3", "--scale", "32",
+                 "--results-dir", store]) == 0
+    captured = capsys.readouterr()
+    assert "root causes re-derived from the trace" in captured.out
+    assert "exact" in captured.out
+    assert "MISMATCH" not in captured.err
+
+    assert main(["trace", "top-spans", "fig3", "--scale", "32",
+                 "--results-dir", store, "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "causing the most host work" in out
+    assert "FileRead" in out
+
+
+def test_resume_over_untraced_cache_reports_unavailable(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["run", "fig3", "--scale", "32",
+                 "--results-dir", store]) == 0
+    capsys.readouterr()
+
+    # Tracing is not part of the cell hash: the resume serves untraced
+    # cache hits and must say so instead of fabricating empty traces.
+    assert main(["run", "fig3", "--scale", "32", "--results-dir", store,
+                 "--resume", "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "executed=0" in out
+    assert "trace unavailable (cached) for 4 cell(s)" in out
+
+    assert main(["trace", "export", "fig3", "--scale", "32",
+                 "--results-dir", store,
+                 "--out", str(tmp_path / "empty.json")]) == 1
+    err = capsys.readouterr().err
+    assert "refusing to write an empty trace" in err
+    assert not (tmp_path / "empty.json").exists()
+
+
+def test_sampled_traces_refuse_the_exact_cross_check(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["run", "fig3", "--scale", "32", "--results-dir", store,
+                 "--trace=sampled"]) == 0
+    capsys.readouterr()
+
+    assert main(["trace", "analyze", "fig3", "--scale", "32",
+                 "--results-dir", store]) == 1
+    captured = capsys.readouterr()
+    assert "exact cross-check impossible" in captured.out
+    assert "MISMATCH" in captured.err
+
+
+def test_trace_subcommand_rejects_bad_targets(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["trace", "export", "nope", "--scale", "32",
+                 "--results-dir", store]) == 1
+    assert "unknown experiment" in capsys.readouterr().err
+
+    assert main(["trace", "analyze", "table1", "--scale", "32",
+                 "--results-dir", store]) == 1
+    assert "declares no cells" in capsys.readouterr().err
+
+    # Stored, but never traced at this scale: nothing to export.
+    assert main(["trace", "top-spans", "fig3", "--scale", "32",
+                 "--results-dir", store]) == 1
+    assert "not in store" in capsys.readouterr().err

@@ -1,0 +1,157 @@
+"""Collector unit tests: rings, spans, sampling, serialization."""
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.trace.collector import (
+    NULL_SPAN,
+    NULL_TRACE,
+    TraceCollector,
+)
+from repro.trace.events import TRACE_SCHEMA_VERSION, TraceData
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def collector(**kwargs) -> TraceCollector:
+    return TraceCollector(FakeClock(), **kwargs)
+
+
+def test_null_trace_is_disabled_and_inert():
+    assert not NULL_TRACE.enabled
+    NULL_TRACE.emit("fault.major", gpa=1)
+    sid = NULL_TRACE.begin_span("Touch")
+    assert sid == NULL_SPAN
+    NULL_TRACE.end_span(sid)
+    NULL_TRACE.reset()
+    assert NULL_TRACE.finish() is None
+
+
+def test_emit_records_time_kind_and_args():
+    trace = collector()
+    trace.clock.now = 1.5
+    trace.emit("swap.out", vm="vm0", gpa=7, silent=True)
+    data = trace.finish()
+    assert len(data.events) == 1
+    event = data.events[0]
+    assert (event.time, event.kind, event.vm) == (1.5, "swap.out", "vm0")
+    assert event.args == {"gpa": 7, "silent": True}
+    assert event.span is None
+    assert data.complete
+
+
+def test_at_override_stamps_the_virtual_future():
+    trace = collector()
+    trace.emit("disk.complete", at=9.25, sector=4)
+    assert trace.finish().events[0].time == 9.25
+
+
+def test_events_carry_the_innermost_open_span():
+    trace = collector()
+    outer = trace.begin_span("FileRead", vm="vm0")
+    trace.emit("fault.major", gpa=1)
+    inner = trace.begin_span("Nested")
+    trace.emit("disk.submit", sector=0)
+    trace.end_span(inner)
+    trace.emit("swap.in", gpa=1)
+    trace.end_span(outer)
+    data = trace.finish()
+    spans = [e.span for e in data.events]
+    assert spans == [outer, inner, outer]
+    assert [s.sid for s in data.spans] == sorted([outer, inner])
+
+
+def test_finish_closes_abandoned_spans():
+    trace = collector()
+    sid = trace.begin_span("Touch")
+    trace.clock.now = 3.0
+    data = trace.finish()
+    assert data.spans[0].sid == sid
+    assert data.spans[0].end == 3.0
+    assert data.spans[0].duration == 3.0
+
+
+def test_sampled_mode_keeps_every_nth_top_level_span():
+    trace = collector(mode="sampled", sample_every=4)
+    kept = []
+    for i in range(8):
+        sid = trace.begin_span("Op")
+        trace.emit("fault.major", index=i)
+        trace.end_span(sid)
+        if sid != NULL_SPAN:
+            kept.append(i)
+    data = trace.finish()
+    assert kept == [0, 4]
+    assert [e.args["index"] for e in data.events] == [0, 4]
+    assert data.sampled_out == 6
+    assert not data.complete
+
+
+def test_sampled_mode_suppresses_nested_spans_wholesale():
+    trace = collector(mode="sampled", sample_every=2)
+    first = trace.begin_span("Kept")
+    trace.end_span(first)
+    skipped = trace.begin_span("Skipped")
+    nested = trace.begin_span("Nested")
+    trace.emit("fault.major")
+    assert skipped == NULL_SPAN and nested == NULL_SPAN
+    trace.end_span(nested)
+    trace.end_span(skipped)
+    # Suppression fully unwound: the next kept span records again.
+    kept = trace.begin_span("Kept2")
+    trace.emit("swap.out")
+    trace.end_span(kept)
+    data = trace.finish()
+    assert [e.kind for e in data.events] == ["swap.out"]
+
+
+def test_ring_capacity_evicts_and_counts():
+    trace = collector(capacity=4)
+    for i in range(6):
+        trace.emit("reclaim.scan", index=i)
+    data = trace.finish()
+    assert [e.args["index"] for e in data.events] == [2, 3, 4, 5]
+    assert data.emitted == 6
+    assert data.dropped == 2
+    assert not data.complete
+
+
+def test_reset_discards_everything():
+    trace = collector()
+    sid = trace.begin_span("Op")
+    trace.emit("fault.major")
+    trace.reset()
+    trace.end_span(sid)  # stale id from before the reset: ignored
+    data = trace.finish()
+    assert data.events == [] and data.spans == []
+    assert data.emitted == 0 and data.dropped == 0
+
+
+def test_invalid_configuration_raises():
+    with pytest.raises(ConfigError):
+        collector(mode="verbose")
+    with pytest.raises(ConfigError):
+        collector(capacity=0)
+    with pytest.raises(ConfigError):
+        collector(sample_every=0)
+
+
+def test_trace_data_round_trips_through_dict():
+    trace = collector()
+    sid = trace.begin_span("FileRead", vm="vm0")
+    trace.clock.now = 2.0
+    trace.emit("fault.major", vm="vm0", gpa=3, stale=True)
+    trace.end_span(sid)
+    data = trace.finish()
+    restored = TraceData.from_dict(data.to_dict())
+    assert restored == data
+
+
+def test_trace_data_rejects_unknown_schema():
+    payload = collector().finish().to_dict()
+    payload["schema"] = TRACE_SCHEMA_VERSION + 1
+    with pytest.raises(ReproError, match="schema"):
+        TraceData.from_dict(payload)
