@@ -1,0 +1,63 @@
+"""Store-overhead guard: locking + checksumming must stay cheap.
+
+The durability work gave every store write two flocks, an fsync'd tmp
+file, and a SHA-256 payload checksum, and every read a checksum
+verification.  A sweep writes one record per cell, so per-record cost
+is what bounds checkpointing overhead; this benchmark measures a
+write+read round-trip batch and bounds the per-record cost loosely
+enough for CI jitter while still catching an accidental quadratic
+(e.g. re-reading the strike ledger per write, or lock acquisition
+falling into backoff when uncontended).
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.exec.spec import CellSpec
+from repro.exec.store import ResultStore
+from repro.experiments.runner import ConfigName, RunResult
+
+#: Records per batch.
+RECORDS = 200
+
+#: Per-record budget (seconds) for one locked, checksummed,
+#: fsync'd write plus one verifying read.  An fsync on CI storage
+#: costs ~1ms; 25ms/record means something structural broke.
+MAX_SECONDS_PER_RECORD = 0.025
+
+
+def _spec(index: int) -> CellSpec:
+    return CellSpec(experiment_id="bench-store", cell_id=f"c{index:03d}",
+                    scale=4, config="baseline",
+                    params={"actual_mib": index + 1})
+
+
+def _result(index: int) -> RunResult:
+    return RunResult(config=ConfigName.BASELINE, runtime=float(index),
+                     crashed=False,
+                     counters={"disk_ops": index, "swap_ins": index * 3})
+
+
+def test_bench_store_write_read_round_trip(benchmark, tmp_path):
+    store = ResultStore(tmp_path)
+
+    def batch() -> int:
+        hits = 0
+        for index in range(RECORDS):
+            store.store_cell(_spec(index), _result(index),
+                             wall_seconds=0.5)
+        for index in range(RECORDS):
+            if store.load_cell(_spec(index)) == _result(index):
+                hits += 1
+        return hits
+
+    started = time.perf_counter()
+    hits = run_once(benchmark, batch)
+    elapsed = time.perf_counter() - started
+
+    assert hits == RECORDS, "verified read-back missed records"
+    per_record = elapsed / (2 * RECORDS)
+    assert per_record < MAX_SECONDS_PER_RECORD, (
+        f"store round-trip costs {per_record * 1e3:.2f} ms/record "
+        f"({elapsed:.2f}s for {RECORDS} writes + reads)")
+    assert store.verify().ok

@@ -27,6 +27,14 @@ subcommand exports stored traces as Chrome trace-event JSON, re-derives
 the paper's root-cause counts from events (cross-checked against the
 counters), and ranks the guest operations that caused the most
 host-side work.
+
+The result store itself is crash-safe and auditable: ``--store-faults
+RATE`` arms deterministic crash points inside the store's write path
+(abort before/after rename, torn records, lock stalls), ``--verify-
+store`` checksums every record before trusting a ``--resume``, and the
+``store`` subcommand repairs stores offline (``verify`` exits 1 on any
+integrity failure, ``gc`` sweeps write debris, ``compact`` rewrites
+one record per live key and drops the quarantine).
 """
 
 from __future__ import annotations
@@ -143,6 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured event trace per cell (stored with "
              "the cell result); MODE is 'full' (default) or 'sampled' "
              "(every 8th top-level span)")
+    run.add_argument(
+        "--store-faults", type=_rate, default=0.0, metavar="RATE",
+        help="chaos: arm every store crash point (abort before/after "
+             "rename, torn record, lock stall) at this probability per "
+             "record; deterministic and at most once per (point, "
+             "record), so crash-then-resume always converges (requires "
+             "--results-dir)")
+    run.add_argument(
+        "--store-faults-seed", type=int, default=1, metavar="N",
+        help="seed of the store fault plan (default: 1)")
+    run.add_argument(
+        "--verify-store", action="store_true",
+        help="verify every store record's checksum before running, "
+             "quarantining corrupt ones (they re-run as cache misses); "
+             "requires --results-dir")
 
     trace = sub.add_parser(
         "trace",
@@ -173,6 +196,27 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument(
                 "--limit", type=_positive_int, default=10,
                 help="spans to show per cell (default: 10)")
+
+    store = sub.add_parser(
+        "store",
+        help="audit/repair a results store (verify / gc / compact)")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    for name, help_text in (
+            ("verify", "walk every record, verify payload checksums; "
+                       "exit 1 on any integrity failure"),
+            ("gc", "sweep orphaned tmp files and stale-hash duplicate "
+                   "records"),
+            ("compact", "rewrite one normalized record per live key, "
+                        "dropping stale records and the quarantine")):
+        cmd = store_sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "--results-dir", required=True,
+            help="the store to operate on")
+        if name == "verify":
+            cmd.add_argument(
+                "--quarantine", action="store_true",
+                help="move records that fail verification to "
+                     "quarantine/ (default: report only)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -231,14 +275,30 @@ def _run_command(args: argparse.Namespace) -> int:
     from repro.config import FaultConfig
     from repro.exec.executor import make_executor
     from repro.exec.store import ResultStore
-    from repro.faults.plan import set_default_fault_config
+    from repro.faults.plan import StoreFaultConfig, set_default_fault_config
     from repro.trace import set_tracing
 
     if args.resume and not args.results_dir:
         raise ConfigError(
             "--resume requires --results-dir (there is no store to "
             "resume from)")
-    store = ResultStore(args.results_dir) if args.results_dir else None
+    if args.store_faults and not args.results_dir:
+        raise ConfigError(
+            "--store-faults requires --results-dir (there is no store "
+            "to inject into)")
+    if args.verify_store and not args.results_dir:
+        raise ConfigError(
+            "--verify-store requires --results-dir (there is no store "
+            "to verify)")
+    store_faults = None
+    if args.store_faults:
+        store_faults = StoreFaultConfig.chaos(
+            rate=args.store_faults, seed=args.store_faults_seed)
+    store = (ResultStore(args.results_dir, faults=store_faults)
+             if args.results_dir else None)
+    if store is not None and args.verify_store:
+        report = store.verify(quarantine=True)
+        print(f"[{report.describe()}]")
     executor = make_executor(args.jobs, timeout=args.timeout,
                              retries=args.retries,
                              supervise=args.kill_workers > 0)
@@ -273,6 +333,26 @@ def _run_command(args: argparse.Namespace) -> int:
         set_default_fault_config(None)
         set_paranoid(False)
         set_tracing(None)
+    return 0
+
+
+def _store_command(args: argparse.Namespace) -> int:
+    from repro.exec.store import ResultStore
+
+    store = ResultStore(args.results_dir)
+    if args.store_command == "verify":
+        report = store.verify(quarantine=args.quarantine)
+        print(report.describe())
+        for rel, reason, detail in report.corrupt:
+            print(f"CORRUPT {rel}: {reason}: {detail}", file=sys.stderr)
+        for why in store.quarantined():
+            print(f"quarantined {why.get('source')}: "
+                  f"{why.get('reason')}: {why.get('detail')}")
+        return 0 if report.ok else 1
+    if args.store_command == "gc":
+        print(store.gc().describe())
+        return 0
+    print(store.compact().describe())
     return 0
 
 
@@ -341,6 +421,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "trace":
         try:
             return _trace_command(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
+    if args.command == "store":
+        try:
+            return _store_command(args)
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1

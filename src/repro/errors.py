@@ -100,6 +100,31 @@ class ExperimentError(ReproError):
     """An experiment harness was misconfigured or produced no data."""
 
 
+class StoreError(ReproError):
+    """The result store could not complete a read or write safely."""
+
+
+class StoreContentionError(StoreError):
+    """A store lock stayed contended past the retry deadline.
+
+    Raised by the :class:`~repro.exec.store.ResultStore` after its
+    capped-exponential-backoff acquisition loop (the same retry
+    discipline the cell supervisor applies to workers) gives up on a
+    ``flock``-held lock file.  The store on disk is untouched: the
+    caller may retry, raise, or fall back to running without a cache.
+    """
+
+
+class StoreIntegrityError(StoreError):
+    """A store record failed its integrity check and could not be used.
+
+    Most integrity failures never surface as exceptions -- corrupt
+    records are quarantined and read as cache misses -- but repair
+    tooling (``store verify``) raises this when asked to treat any
+    failure as fatal.
+    """
+
+
 class TraceError(ReproError):
     """The trace subsystem caught an inconsistency.
 

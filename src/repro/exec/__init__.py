@@ -32,7 +32,17 @@ from repro.exec.spec import (
     faults_from_params,
     sweep_from_configs,
 )
-from repro.exec.store import ResultStore, cell_key
+from repro.exec.store import (
+    QuarantineReason,
+    ResultStore,
+    STORE_CRASH_EXIT,
+    StoreCompactReport,
+    StoreGcReport,
+    StoreLockConfig,
+    StoreVerifyReport,
+    cell_key,
+    figure_key,
+)
 
 __all__ = [
     "CellFailure",
@@ -40,13 +50,20 @@ __all__ = [
     "CellSupervisor",
     "FailureKind",
     "ParallelExecutor",
+    "QuarantineReason",
     "ResultStore",
     "SPEC_SCHEMA_VERSION",
+    "STORE_CRASH_EXIT",
     "SerialExecutor",
+    "StoreCompactReport",
+    "StoreGcReport",
+    "StoreLockConfig",
+    "StoreVerifyReport",
     "SupervisorConfig",
     "Sweep",
     "SweepOutcome",
     "cell_key",
+    "figure_key",
     "execute_cell",
     "fault_params",
     "faults_from_params",

@@ -33,7 +33,7 @@ from typing import Callable, Sequence
 
 from repro.errors import ConfigError
 from repro.exec.spec import CellSpec, Sweep, faults_from_params
-from repro.exec.store import ResultStore
+from repro.exec.store import ResultStore, cell_key
 from repro.exec.supervisor import (
     CellFailure,
     CellSupervisor,
@@ -296,11 +296,21 @@ def run_sweep(sweep: Sweep, *,
 def finish_figure(figure: FigureResult,
                   outcome: SweepOutcome | None = None,
                   store: ResultStore | None = None) -> FigureResult:
-    """Attach sweep stats to an assembled figure and persist it."""
+    """Attach sweep stats to an assembled figure and persist it.
+
+    The stored figure record is stamped with the content keys of its
+    constituent cells, so a later :meth:`ResultStore.load_figure` with
+    the current sweep's keys refuses a figure assembled from cells that
+    have since changed (spec edits, schema bumps) instead of serving
+    stale data.
+    """
     if outcome is not None:
         figure.stats = outcome.stats
     if store is not None:
-        store.store_figure(figure)
+        keys = None
+        if outcome is not None:
+            keys = [cell_key(spec) for spec in outcome.sweep.cells]
+        store.store_figure(figure, cell_keys=keys)
     return figure
 
 

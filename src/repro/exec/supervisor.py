@@ -242,16 +242,25 @@ class CellSupervisor:
             _Pending(i, spec, 1, 0.0) for i, spec in enumerate(specs)]
         running: list[_Running] = []
 
-        while queue or running:
-            now = time.monotonic()
-            self._launch_ready(queue, running, now, paranoid, trace_mode)
-            self._wait(queue, running, now)
-            now = time.monotonic()
-            for worker in list(running):
-                finished = self._collect(worker, now, specs, outcomes,
-                                         burned, queue, on_cell)
-                if finished:
-                    running.remove(worker)
+        try:
+            while queue or running:
+                now = time.monotonic()
+                self._launch_ready(queue, running, now, paranoid, trace_mode)
+                self._wait(queue, running, now)
+                now = time.monotonic()
+                for worker in list(running):
+                    finished = self._collect(worker, now, specs, outcomes,
+                                             burned, queue, on_cell)
+                    if finished:
+                        running.remove(worker)
+        except BaseException:
+            # The supervision loop itself failed -- e.g. the on_cell
+            # store checkpoint raised StoreContentionError.  Tear down
+            # every live worker before propagating, so an aborted sweep
+            # never strands orphan processes.
+            for worker in running:
+                self._terminate(worker)
+            raise
 
         return [outcomes[i] for i in range(len(specs))]
 

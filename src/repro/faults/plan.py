@@ -10,7 +10,11 @@ instance, alongside the per-VM counters the hooks also bump.
 
 from __future__ import annotations
 
+import enum
+from dataclasses import dataclass
+
 from repro.config import FaultConfig
+from repro.errors import ConfigError
 from repro.faults.breaker import CircuitBreaker
 from repro.metrics.counters import Counters
 from repro.sim.rng import DeterministicRng
@@ -49,6 +53,113 @@ def should_kill_worker(config: FaultConfig, cell_id: str, seed: int,
         return False
     rng = DeterministicRng(seed).fork(f"worker-kill:{cell_id}:{attempt}")
     return rng.chance(config.worker_kill_rate)
+
+
+class StoreFaultPoint(enum.Enum):
+    """Crash/stall points the result-store write path can inject.
+
+    The first two model a process dying (SIGKILL, power loss) at the
+    two interesting instants of a write-then-rename: before the rename
+    (the record never lands; only a tmp orphan is left) and after the
+    rename but before the durability stamp (the record landed but the
+    writer never acknowledged).  ``TORN_WRITE`` models reordered disk
+    writes surviving a crash: the rename landed but the data blocks did
+    not, so the record is truncated at rest and must fail verification.
+    ``LOCK_STALL`` holds the per-record write lock longer than needed,
+    manufacturing the contention the backoff/retry path exists for.
+    """
+
+    BEFORE_RENAME = "crash-before-rename"
+    AFTER_RENAME = "crash-after-rename"
+    TORN_WRITE = "torn-write"
+    LOCK_STALL = "lock-stall"
+
+
+@dataclass(frozen=True)
+class StoreFaultConfig:
+    """Deterministic fault plan for the result store's write path.
+
+    Seeded like :class:`FaultPlan`: each strike decision is a pure
+    function of ``(seed, point, record key)`` drawn from a substream
+    forked per point and key, so the same configuration replays the
+    same crashes.  Unlike simulation faults, store crashes leave
+    durable evidence (a dead process, a torn file), so every strike is
+    also appended to an on-disk ledger *before* it lands and
+    ``max_strikes`` bounds strikes per (point, key) across process
+    restarts -- which is what lets a crash-then-resume loop always
+    converge instead of re-killing the same record forever (the same
+    role ``worker_kill_max_attempt`` plays for worker-kill chaos).
+    """
+
+    enabled: bool = False
+    seed: int = 1
+    #: Probability a record write aborts (hard ``os._exit``) after the
+    #: tmp file is written but before the rename publishes it.
+    crash_before_rename_rate: float = 0.0
+    #: Probability a record write aborts right after the rename, before
+    #: the store's last-writer stamp is updated.
+    crash_after_rename_rate: float = 0.0
+    #: Probability a record lands truncated (the write "succeeds" but
+    #: the record at rest fails verification).
+    torn_write_rate: float = 0.0
+    #: Probability a writer stalls while holding its record lock...
+    lock_stall_rate: float = 0.0
+    #: ...for this long, manufacturing lock contention.
+    lock_stall_seconds: float = 0.05
+    #: Strikes allowed per (point, key) across all processes sharing
+    #: the store (enforced via the store's strike ledger).
+    max_strikes: int = 1
+
+    _RATES = {
+        StoreFaultPoint.BEFORE_RENAME: "crash_before_rename_rate",
+        StoreFaultPoint.AFTER_RENAME: "crash_after_rename_rate",
+        StoreFaultPoint.TORN_WRITE: "torn_write_rate",
+        StoreFaultPoint.LOCK_STALL: "lock_stall_rate",
+    }
+
+    def validate(self) -> None:
+        for attr in self._RATES.values():
+            rate = getattr(self, attr)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{attr} must be within [0, 1]: {rate}")
+        if self.lock_stall_seconds < 0:
+            raise ConfigError("lock_stall_seconds must be non-negative")
+        if self.max_strikes < 1:
+            raise ConfigError("max_strikes must be >= 1")
+
+    def rate_for(self, point: StoreFaultPoint) -> float:
+        """The configured strike probability of one crash point."""
+        return getattr(self, self._RATES[point])
+
+    @staticmethod
+    def chaos(rate: float = 0.25, seed: int = 1) -> "StoreFaultConfig":
+        """The standing store-chaos plan: every point armed at ``rate``
+        (the CLI's ``--store-faults RATE``)."""
+        return StoreFaultConfig(
+            enabled=True, seed=seed,
+            crash_before_rename_rate=rate,
+            crash_after_rename_rate=rate,
+            torn_write_rate=rate,
+            lock_stall_rate=rate,
+        )
+
+
+def should_strike_store(config: StoreFaultConfig, point: StoreFaultPoint,
+                        key: str, strikes_so_far: int) -> bool:
+    """Whether a store write suffers ``point`` for record ``key``.
+
+    Pure in ``(seed, point, key)`` -- the RNG is forked fresh per
+    decision, so arming one point never perturbs another's schedule.
+    ``strikes_so_far`` is the ledger count for this (point, key); at
+    ``max_strikes`` the point is spent and recovery can proceed.
+    """
+    if not config.enabled or strikes_so_far >= config.max_strikes:
+        return False
+    rate = config.rate_for(point)
+    if not rate:
+        return False
+    rng = DeterministicRng(config.seed).fork(f"store:{point.value}:{key}")
+    return rng.chance(rate)
 
 
 class FaultPlan:

@@ -1,0 +1,96 @@
+"""Multi-process store contention: hammer overlapping keys, read live.
+
+Satellite of the store-durability PR: N writer processes repeatedly
+write the *same* set of cells in different orders while a reader
+polls lock-free, then the store must hold exactly one live record per
+key, no torn read may ever have surfaced (a torn read would
+quarantine), and ``store verify`` must exit 0.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.cli import main
+from repro.exec.spec import CellSpec
+from repro.exec.store import ResultStore, cell_key
+from repro.experiments.runner import ConfigName, RunResult
+
+pytest.importorskip("fcntl")
+
+WRITERS = 4
+CELLS = 12
+ROUNDS = 3
+
+
+def _spec(index: int) -> CellSpec:
+    return CellSpec(experiment_id="contend", cell_id=f"c{index:02d}",
+                    scale=4, config="baseline",
+                    params={"actual_mib": 64 * (index + 1)})
+
+
+def _result(index: int) -> RunResult:
+    """Deterministic from the spec, so every writer of a key writes the
+    same result payload and any complete record is the right one."""
+    return RunResult(config=ConfigName.BASELINE, runtime=float(index),
+                     crashed=False, counters={"disk_ops": index * 7})
+
+
+def _writer(root: str, writer_id: int) -> None:
+    store = ResultStore(root)
+    order = list(range(CELLS))
+    for round_no in range(ROUNDS):
+        # Distinct interleavings per (writer, round), no RNG needed.
+        shift = (writer_id * 5 + round_no * 3) % CELLS
+        for index in order[shift:] + order[:shift]:
+            store.store_cell(_spec(index), _result(index),
+                             wall_seconds=0.25)
+
+
+def _reader(root: str, done: multiprocessing.Event) -> None:
+    store = ResultStore(root)
+    while True:
+        finished = done.is_set()  # check *before* the sweep: no lost race
+        for index in range(CELLS):
+            entry = store.load_cell_entry(_spec(index))
+            if entry is not None:
+                result, wall = entry
+                assert result == _result(index), f"torn read on c{index:02d}"
+                assert wall == 0.25
+        if finished:
+            # One full sweep after every writer exited: all keys present.
+            assert all(store.has_cell(_spec(i)) for i in range(CELLS))
+            return
+
+
+def test_concurrent_writers_converge_to_one_valid_record_per_key(tmp_path):
+    root = str(tmp_path)
+    done = multiprocessing.Event()
+    reader = multiprocessing.Process(target=_reader, args=(root, done))
+    writers = [multiprocessing.Process(target=_writer, args=(root, i))
+               for i in range(WRITERS)]
+    reader.start()
+    for proc in writers:
+        proc.start()
+    for proc in writers:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0, "writer crashed or deadlocked"
+    done.set()
+    reader.join(timeout=120)
+    assert reader.exitcode == 0, "reader saw a torn or wrong record"
+
+    store = ResultStore(root)
+    # Exactly one live record per key, nothing quarantined, no leftovers.
+    files = sorted((tmp_path / "cells" / "contend").glob("*.json"))
+    assert len(files) == CELLS
+    for index in range(CELLS):
+        record = json.loads(store.cell_path(_spec(index)).read_text())
+        assert record["key"] == cell_key(_spec(index))
+    assert store.quarantined() == []
+
+    report = store.verify()
+    assert report.ok
+    assert report.checked == CELLS
+    assert report.stale == 0
+    assert main(["store", "verify", "--results-dir", root]) == 0

@@ -1,0 +1,251 @@
+"""Injected store crashes: every crash point, ledger convergence, CLI.
+
+The write path's four seeded fault points (crash before rename, crash
+after rename, torn record, lock stall) are driven here both directly
+through :class:`ResultStore` and end-to-end through the CLI's
+``--store-faults``, asserting the recovery contract: a crashed or torn
+write never surfaces as a wrong read, the strike ledger makes resume
+loops converge, and ``store verify`` / ``gc`` / ``compact`` repair the
+debris.
+"""
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.exec.spec import CellSpec
+from repro.exec.store import (
+    QuarantineReason,
+    ResultStore,
+    STORE_CRASH_EXIT,
+    cell_key,
+)
+from repro.experiments.runner import ConfigName, RunResult
+from repro.faults.plan import (
+    StoreFaultConfig,
+    StoreFaultPoint,
+    should_strike_store,
+)
+
+pytest.importorskip("fcntl")
+
+
+def _spec(cell_id: str = "cell") -> CellSpec:
+    return CellSpec(experiment_id="exp", cell_id=cell_id, scale=4,
+                    config="baseline", params={"actual_mib": 512})
+
+
+def _result() -> RunResult:
+    return RunResult(config=ConfigName.BASELINE, runtime=3.5,
+                     crashed=False, counters={"disk_ops": 9})
+
+
+def _faults(**rates) -> StoreFaultConfig:
+    return StoreFaultConfig(enabled=True, seed=1, **rates)
+
+
+def _ledger_lines(root) -> list[str]:
+    ledger = Path(root) / "locks" / "strike-ledger.log"
+    if not ledger.exists():
+        return []
+    return ledger.read_text().splitlines()
+
+
+def _write_with_faults(root: str, rates: dict) -> None:
+    """Subprocess target: one faulted cell write (may os._exit(47))."""
+    store = ResultStore(root, faults=_faults(**rates))
+    store.store_cell(_spec(), _result(), wall_seconds=0.5)
+
+
+# ----------------------------------------------------------------------
+# the strike function
+# ----------------------------------------------------------------------
+
+def test_should_strike_is_pure_in_seed_point_and_key():
+    config = _faults(torn_write_rate=0.5)
+    point = StoreFaultPoint.TORN_WRITE
+    draws = {key: should_strike_store(config, point, key, 0)
+             for key in (f"{i:064x}" for i in range(64))}
+    again = {key: should_strike_store(config, point, key, 0)
+             for key in draws}
+    assert draws == again  # same (seed, point, key) -> same verdict
+    assert any(draws.values()) and not all(draws.values())
+
+
+def test_strikes_stop_at_max_strikes_and_when_disabled():
+    config = _faults(torn_write_rate=1.0)
+    point = StoreFaultPoint.TORN_WRITE
+    assert should_strike_store(config, point, "k", 0)
+    assert not should_strike_store(config, point, "k",
+                                   config.max_strikes)
+    off = StoreFaultConfig()  # disabled
+    assert not should_strike_store(off, point, "k", 0)
+    zero = _faults()  # enabled, every rate 0
+    assert not should_strike_store(zero, point, "k", 0)
+
+
+def test_chaos_preset_arms_every_point():
+    config = StoreFaultConfig.chaos(rate=0.25, seed=7)
+    config.validate()
+    assert config.enabled
+    assert all(config.rate_for(point) == 0.25
+               for point in StoreFaultPoint)
+
+
+# ----------------------------------------------------------------------
+# crash points, one by one
+# ----------------------------------------------------------------------
+
+def test_torn_write_is_quarantined_then_the_retry_converges(tmp_path):
+    store = ResultStore(tmp_path, faults=_faults(torn_write_rate=1.0))
+    spec = _spec()
+    path = store.store_cell(spec, _result(), wall_seconds=0.5)
+    with pytest.raises(ValueError):
+        json.loads(path.read_text())  # the record really landed torn
+
+    assert store.load_cell(spec) is None  # quarantined, not an error
+    [entry] = store.quarantined()
+    assert entry["reason"] == QuarantineReason.BAD_JSON.value
+
+    # The strike is in the ledger, so the rewrite is not torn again.
+    assert _ledger_lines(tmp_path) == [
+        f"{StoreFaultPoint.TORN_WRITE.value}\t{cell_key(spec)}"]
+    store.store_cell(spec, _result(), wall_seconds=0.5)
+    assert store.load_cell(spec) == _result()
+    assert len(_ledger_lines(tmp_path)) == 1  # spent, never re-struck
+
+
+def test_crash_before_rename_leaves_only_a_tmp_orphan(tmp_path):
+    root = str(tmp_path)
+    proc = multiprocessing.Process(
+        target=_write_with_faults,
+        args=(root, {"crash_before_rename_rate": 1.0}))
+    proc.start()
+    proc.join(timeout=60)
+    assert proc.exitcode == STORE_CRASH_EXIT
+
+    store = ResultStore(root)
+    assert not store.cell_path(_spec()).exists()
+    assert store.verify().tmp_orphans == 1
+    # The orphan postdates the last write (the dead writer's own lock
+    # stamp), so gc conservatively keeps it...
+    assert store.gc().tmp_removed == 0
+
+    # ...the resume write (same faults: ledger says the strike is
+    # spent) lands the record, and only then is the orphan garbage.
+    retry = ResultStore(root, faults=_faults(crash_before_rename_rate=1.0))
+    retry.store_cell(_spec(), _result(), wall_seconds=0.5)
+    assert retry.load_cell(_spec()) == _result()
+    assert store.gc().tmp_removed == 1
+    assert store.verify().tmp_orphans == 0
+
+
+def test_crash_after_rename_still_lands_the_record(tmp_path):
+    root = str(tmp_path)
+    proc = multiprocessing.Process(
+        target=_write_with_faults,
+        args=(root, {"crash_after_rename_rate": 1.0}))
+    proc.start()
+    proc.join(timeout=60)
+    assert proc.exitcode == STORE_CRASH_EXIT
+
+    # The rename beat the crash: a fresh store reads the full record.
+    store = ResultStore(root)
+    assert store.load_cell(_spec()) == _result()
+    assert store.verify().ok
+
+
+def test_lock_stall_delays_but_never_corrupts(tmp_path):
+    store = ResultStore(
+        tmp_path, faults=_faults(lock_stall_rate=1.0,
+                                 lock_stall_seconds=0.01))
+    store.store_cell(_spec(), _result(), wall_seconds=0.5)
+    assert store.load_cell(_spec()) == _result()
+    assert _ledger_lines(tmp_path) == [
+        f"{StoreFaultPoint.LOCK_STALL.value}\t{cell_key(_spec())}"]
+
+
+# ----------------------------------------------------------------------
+# the store CLI
+# ----------------------------------------------------------------------
+
+def test_store_cli_verify_gc_compact_exit_codes(tmp_path, capsys):
+    root = str(tmp_path)
+    store = ResultStore(root)
+    store.store_cell(_spec("good"), _result(), wall_seconds=0.5)
+    bad = store.store_cell(_spec("bad"), _result(), wall_seconds=0.5)
+    bad.write_text("{ torn")
+
+    assert main(["store", "verify", "--results-dir", root]) == 1
+    assert "CORRUPT" in capsys.readouterr().err
+    assert bad.exists()  # plain verify never moves records
+
+    assert main(["store", "verify", "--results-dir", root,
+                 "--quarantine"]) == 1
+    assert not bad.exists()
+    assert main(["store", "verify", "--results-dir", root]) == 0
+    out = capsys.readouterr().out
+    assert "1 quarantined" in out
+
+    assert main(["store", "gc", "--results-dir", root]) == 0
+    assert main(["store", "compact", "--results-dir", root]) == 0
+    assert not (tmp_path / "quarantine").exists()
+    assert main(["store", "verify", "--results-dir", root]) == 0
+
+
+def test_run_store_flags_require_a_results_dir():
+    assert main(["run", "fig3", "--scale", "32",
+                 "--store-faults", "0.5"]) == 1
+    assert main(["run", "fig3", "--scale", "32", "--verify-store"]) == 1
+
+
+def test_cli_crash_injection_loop_recovers_bit_identical(tmp_path):
+    """The CI crash-recovery contract, end to end at test scale: sweep
+    under ``--store-faults`` until a run survives, repair, and the
+    recovered figure must be byte-identical to an uninjected run's."""
+    env = dict(os.environ, PYTHONPATH="src")
+    ref = str(tmp_path / "ref")
+    injected = str(tmp_path / "injected")
+    assert main(["run", "fig3", "--scale", "32",
+                 "--results-dir", ref]) == 0
+
+    crashes = 0
+    for _attempt in range(12):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "run", "fig3",
+             "--scale", "32", "--results-dir", injected, "--resume",
+             "--store-faults", "0.5"],
+            cwd="/root/repo", env=env, capture_output=True, timeout=300)
+        assert proc.returncode in (0, STORE_CRASH_EXIT), (
+            proc.returncode, proc.stderr.decode()[-500:])
+        if proc.returncode == 0:
+            break
+        crashes += 1
+    else:
+        pytest.fail("injected sweep never survived within 12 attempts")
+    assert crashes > 0, "no crash point ever struck: injection inert"
+    assert _ledger_lines(injected)
+
+    # Repair: quarantine what the last (surviving) run may have torn,
+    # re-run the now-spent sweep, and the store must verify clean.
+    main(["store", "verify", "--results-dir", injected, "--quarantine"])
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "run", "fig3",
+         "--scale", "32", "--results-dir", injected, "--resume",
+         "--store-faults", "0.5"],
+        cwd="/root/repo", env=env, capture_output=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr.decode()[-500:]
+    assert main(["store", "verify", "--results-dir", injected]) == 0
+
+    ref_record = json.loads((Path(ref) / "figures" / "fig03.json"
+                             ).read_text())
+    got_record = json.loads((Path(injected) / "figures" / "fig03.json"
+                             ).read_text())
+    assert got_record["figure"] == ref_record["figure"]
+    assert got_record["cell_keys"] == ref_record["cell_keys"]

@@ -122,3 +122,26 @@ def test_plan_builds_breakers_at_configured_threshold():
     breaker = plan.new_breaker()
     assert breaker.threshold == 5
     assert not breaker.tripped
+
+
+# ----------------------------------------------------------------------
+# store fault config
+# ----------------------------------------------------------------------
+
+def test_store_fault_config_validates_rates_and_bounds():
+    from repro.faults.plan import StoreFaultConfig, StoreFaultPoint
+
+    StoreFaultConfig().validate()
+    StoreFaultConfig.chaos(rate=1.0).validate()
+    with pytest.raises(ConfigError):
+        StoreFaultConfig(enabled=True, torn_write_rate=1.5).validate()
+    with pytest.raises(ConfigError):
+        StoreFaultConfig(enabled=True,
+                         crash_before_rename_rate=-0.1).validate()
+    with pytest.raises(ConfigError):
+        StoreFaultConfig(enabled=True, lock_stall_seconds=-1.0).validate()
+    with pytest.raises(ConfigError):
+        StoreFaultConfig(enabled=True, max_strikes=0).validate()
+    # Every crash point maps to exactly one configured rate.
+    config = StoreFaultConfig.chaos(rate=0.125)
+    assert {config.rate_for(point) for point in StoreFaultPoint} == {0.125}
