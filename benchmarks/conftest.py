@@ -14,10 +14,16 @@ under ``benchmarks/results/store/``: every cell and figure persists as
 JSON, and the per-cell wall timings printed after each figure are read
 *back from the store*, not re-measured -- the same numbers a later
 ``--resume`` run would trust.
+
+Each figure additionally writes a machine-readable
+``BENCH_<figure_id>.json`` next to its prose ``.txt``: sweep stats
+plus the store's per-cell wall seconds, so CI can archive and diff
+benchmark timings without parsing prose.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -58,9 +64,37 @@ def _timing_note(figure_result, store: ResultStore) -> str:
             f"slowest cells (from store): {cells}]")
 
 
+def _timings_payload(figure_result, store: ResultStore) -> dict:
+    """Machine-readable form of one figure's benchmark outcome."""
+    stats = figure_result.stats
+    payload: dict = {
+        "figure_id": figure_result.figure_id,
+        "scale": BENCH_SCALE,
+        "stats": None,
+        "cell_wall_seconds": {},
+    }
+    if stats is not None:
+        payload["stats"] = {
+            "experiment_id": stats.experiment_id,
+            "cells": stats.cells,
+            "executed": stats.executed,
+            "cached": stats.cached,
+            "wall_seconds": stats.wall_seconds,
+            "cached_wall_seconds": stats.cached_wall_seconds,
+        }
+        payload["cell_wall_seconds"] = dict(sorted(
+            store.cell_timings(stats.experiment_id).items()))
+    return payload
+
+
 @pytest.fixture(scope="session")
 def record_result(bench_store):
-    """Persist and print a regenerated figure (plus store timings)."""
+    """Persist and print a regenerated figure (plus store timings).
+
+    Writes the prose table to ``<figure_id>.txt`` and the per-cell
+    wall times (read back from the result store) to
+    ``BENCH_<figure_id>.json``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _record(figure_result, note: str = "") -> None:
@@ -72,6 +106,9 @@ def record_result(bench_store):
             text = f"{text}\n{timing}"
         (RESULTS_DIR / f"{figure_result.figure_id}.txt").write_text(
             text + "\n")
+        (RESULTS_DIR / f"BENCH_{figure_result.figure_id}.json").write_text(
+            json.dumps(_timings_payload(figure_result, bench_store),
+                       indent=2, sort_keys=True) + "\n")
         print()
         print(text)
 

@@ -5,7 +5,11 @@ figure: an accounting bug that leaks frames or maps a swapped-out page
 produces plausible-looking numbers with nothing to flag them.  The
 auditor turns that silence into an error.  When the process-wide
 paranoid flag is set (:func:`set_paranoid`, mirroring the fault layer's
-ambient default config), every :class:`~repro.machine.Machine` installs
+ambient default config), every host -- the single-host
+:class:`~repro.machine.Machine` as well as each
+:class:`~repro.cluster.host.Host` of a cluster, which additionally
+installs a :class:`~repro.audit.cluster.ClusterInvariantAuditor` for
+the cross-host placement invariants -- installs
 an :class:`~repro.audit.auditor.InvariantAuditor` that re-checks the
 core invariants at operation boundaries -- the end of every reclaim
 batch and every workload phase mark -- and raises
@@ -27,6 +31,7 @@ The invariant families (see DESIGN.md, "The invariant auditor"):
 """
 
 from repro.audit.auditor import InvariantAuditor
+from repro.audit.cluster import ClusterInvariantAuditor
 
 #: Process-wide paranoid flag.  Like the fault layer's default config
 #: this is ambient state: the CLI sets it once and every machine built
@@ -49,6 +54,7 @@ def paranoid_enabled() -> bool:
 
 
 __all__ = [
+    "ClusterInvariantAuditor",
     "InvariantAuditor",
     "paranoid_enabled",
     "set_paranoid",

@@ -1,6 +1,10 @@
 """The invariant auditor installed by ``--paranoid`` runs.
 
-One auditor per :class:`~repro.machine.Machine`.  Hooks fire it at
+One auditor per host -- the single-host :class:`~repro.machine.Machine`
+or each :class:`~repro.cluster.host.Host` of a cluster, both exposing
+the same ``engine``/``frames``/``vms``/``hypervisor`` surface (cluster
+runs add :class:`~repro.audit.cluster.ClusterInvariantAuditor` for the
+cross-host checks).  Hooks fire it at
 operation boundaries, where the simulator's state is supposed to be
 consistent: the hypervisor calls :meth:`InvariantAuditor.on_reclaim`
 after every eviction batch and the VM driver calls
@@ -37,8 +41,12 @@ class InvariantAuditor:
     """Re-checks machine-wide invariants at operation boundaries."""
 
     def __init__(self, machine: "Machine", *,
-                 reclaim_stride: int = DEFAULT_RECLAIM_STRIDE) -> None:
+                 reclaim_stride: int = DEFAULT_RECLAIM_STRIDE,
+                 label: str | None = None) -> None:
         self.machine = machine
+        #: Host name prefixed to violation sites on multi-host clusters
+        #: (None on a single host, keeping messages byte-identical).
+        self.label = label
         self.reclaim_stride = max(1, reclaim_stride)
         self._last_time = machine.engine.now
         self._reclaims_seen = 0
@@ -171,6 +179,7 @@ class InvariantAuditor:
                               f"gpa, {mapper.tracked_blocks} by block")
 
     def _fail(self, where: str, message: str) -> None:
+        site = f"{self.label}:{where}" if self.label else where
         raise InvariantViolation(
-            f"invariant violated at {where} (t={self.machine.now:.6f}): "
+            f"invariant violated at {site} (t={self.machine.now:.6f}): "
             f"{message}")

@@ -1,0 +1,66 @@
+"""Cluster-wide invariants layered over the per-host auditors.
+
+Each :class:`~repro.cluster.host.Host` already runs its own
+:class:`~repro.audit.auditor.InvariantAuditor` (frame conservation,
+swap-slot ownership, mapper bijection) under ``--paranoid``.  This
+auditor checks the properties only the *cluster* can violate: every
+VM it ever placed lives on exactly one host (no VM lost, no double
+placement), host rosters agree with their hypervisors', and ownership
+backrefs survive migration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+
+
+class ClusterInvariantAuditor:
+    """Re-checks cross-host invariants at placement/migration points."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        #: Full cluster walks performed (tests assert coverage).
+        self.audits = 0
+
+    def check(self, where: str) -> None:
+        """Run every cluster invariant; raise on the first breach."""
+        self.audits += 1
+        cluster = self.cluster
+        seen: dict[int, str] = {}
+        for host in cluster.hosts:
+            if list(host.vms) != list(host.hypervisor.vms):
+                self._fail(where, f"host {host.name}: host roster and "
+                                  f"hypervisor roster disagree")
+            for vm in host.vms:
+                if vm.vm_id in seen:
+                    self._fail(where, f"VM {vm.name} (id {vm.vm_id}) is "
+                                      f"placed on both {seen[vm.vm_id]} "
+                                      f"and {host.name}")
+                seen[vm.vm_id] = host.name
+                if vm.host is not host:
+                    owner = getattr(vm.host, "name", vm.host)
+                    self._fail(where, f"VM {vm.name} sits on {host.name} "
+                                      f"but believes it lives on {owner!r}")
+        for vm in cluster.vms:
+            if vm.vm_id not in seen:
+                self._fail(where, f"VM {vm.name} (id {vm.vm_id}) was "
+                                  f"placed but no host holds it")
+        if len(seen) != len(cluster.vms):
+            self._fail(where, f"hosts hold {len(seen)} VMs, cluster "
+                              f"placed {len(cluster.vms)}")
+        for host in cluster.hosts:
+            committed = sum(vm.cfg.guest.memory_pages for vm in host.vms)
+            if committed != host.committed_guest_pages:
+                self._fail(where, f"host {host.name}: admission ledger "
+                                  f"says {host.committed_guest_pages} "
+                                  f"pages, VMs sum to {committed}")
+
+    def _fail(self, where: str, message: str) -> None:
+        raise InvariantViolation(
+            f"invariant violated at cluster:{where} "
+            f"(t={self.cluster.now:.6f}): {message}")

@@ -1,0 +1,27 @@
+"""Multi-host topology: hosts, placement, budgets, migration.
+
+The package splits what ``repro.machine`` used to fuse:
+
+* :class:`~repro.cluster.host.Host` -- the per-host assembly (disk,
+  frames, hypervisor, VMs) *without* an engine clock of its own.
+* :class:`~repro.cluster.cluster.Cluster` -- N hosts wired to one
+  shared engine and one seeded RNG, with a placement scheduler,
+  per-node overcommit/swap budgets, and pressure-driven migration.
+
+``repro.machine.Machine`` remains the single-host facade (a cluster
+of one), bit-identical to its pre-cluster behaviour.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.host import Host, build_latency_model
+from repro.cluster.migrate import MigrationRecord, migrate_vm
+from repro.cluster.placement import choose_host
+
+__all__ = [
+    "Cluster",
+    "Host",
+    "MigrationRecord",
+    "build_latency_model",
+    "choose_host",
+    "migrate_vm",
+]

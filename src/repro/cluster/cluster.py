@@ -1,0 +1,211 @@
+"""The cluster: N hosts, one engine clock, one seeded RNG.
+
+Determinism is the design constraint everything here serves.  All
+hosts share a single :class:`~repro.sim.engine.Engine`, so cross-host
+event ordering is total and reproducible; every random stream is a
+labelled fork of one root :class:`~repro.sim.rng.DeterministicRng`
+(forks are pure functions of ``(seed, label)``, independent of fork
+order); and placement, victim selection, and destination choice are
+pure functions of cluster state with host-id/vm-id tie-breaks.  Same
+seed, same fleet => bit-identical placements, migration log, and
+per-VM counters, serial or parallel.
+
+A cluster of exactly one host hands the *root* RNG to that host --
+its fork labels (``"hypervisor"``, ``"reclaim-<vm>"``,
+``"guest-<vm>"``) are then identical to what the pre-cluster
+``Machine`` drew, which is what keeps every existing figure
+bit-identical through the ``Machine`` facade.  Multi-host clusters
+fork per host (``"host-<name>"``) so each node gets an independent
+stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.audit import ClusterInvariantAuditor, paranoid_enabled
+from repro.config import ClusterConfig, VmConfig
+from repro.faults.plan import FaultPlan, default_fault_config
+from repro.host.vm import Vm
+from repro.sim.engine import Engine
+from repro.sim.rng import DeterministicRng
+from repro.trace import tracing_mode
+from repro.trace.collector import (
+    HostTaggedTrace,
+    NULL_TRACE,
+    TraceCollector,
+)
+
+from repro.cluster.host import Host
+from repro.cluster.migrate import MigrationRecord, migrate_vm
+from repro.cluster.placement import choose_host
+
+
+class Cluster:
+    """N simulated hosts wired to one shared engine."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        config.validate()
+        self.cfg = config
+        # The config's explicit FaultConfig wins; otherwise the
+        # process-wide default (the CLI's --faults flag) applies.
+        fault_cfg = (config.faults if config.faults is not None
+                     else default_fault_config())
+        if fault_cfg is not None:
+            fault_cfg.validate()
+        self.engine = Engine(
+            max_events=(fault_cfg.watchdog_max_events
+                        if fault_cfg else None),
+            max_virtual_time=(fault_cfg.watchdog_max_virtual_time
+                              if fault_cfg else None))
+        self.rng = DeterministicRng(config.seed)
+        #: Deterministic fault schedule; None when injection is off.
+        #: One plan serves the whole cluster, as one served the machine.
+        self.faults: FaultPlan | None = (
+            FaultPlan(fault_cfg, self.rng.fork("faults"))
+            if fault_cfg is not None and fault_cfg.enabled else None)
+
+        #: Trace collector; live only under --trace (the ambient mode).
+        #: One shared ring: cross-host ordering is the point.
+        mode = tracing_mode()
+        self.trace = (TraceCollector(self.engine.clock, mode=mode)
+                      if mode is not None else NULL_TRACE)
+        self.engine.trace = self.trace
+
+        multi = len(config.hosts) > 1
+        self.hosts: list[Host] = []
+        for host_id, node in enumerate(config.hosts):
+            # One host draws from the root RNG itself: fork labels then
+            # match the pre-cluster Machine exactly (bit-compat).
+            host_rng = (self.rng.fork(f"host-{node.name}") if multi
+                        else self.rng)
+            host_trace = self.trace
+            if multi and self.trace.enabled:
+                host_trace = HostTaggedTrace(self.trace, node.name)
+            self.hosts.append(Host(
+                node, host_id=host_id, engine=self.engine, rng=host_rng,
+                faults=self.faults, trace=host_trace,
+                audit_label=node.name if multi else None))
+
+        #: Every VM ever placed, in placement (vm_id) order.
+        self.vms: list[Vm] = []
+        #: Placement log: (vm name, host name), in placement order.
+        self.placements: list[tuple[str, str]] = []
+        #: Completed migrations, in execution order.
+        self.migrations: list[MigrationRecord] = []
+        self._region_seq = 0
+
+        #: Cross-host invariant auditor; --paranoid only.
+        self.auditor: ClusterInvariantAuditor | None = (
+            ClusterInvariantAuditor(self) if paranoid_enabled() else None)
+
+        if config.migration.enabled:
+            self.engine.add_periodic(
+                config.migration.check_interval, self.pressure_tick)
+
+    # ------------------------------------------------------------------
+    # clock and rollups
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.engine.now
+
+    def run(self, until: float | None = None) -> float:
+        """Run the engine until all work completes (or ``until``)."""
+        return self.engine.run(until)
+
+    def aggregate_counters(self) -> dict[str, int]:
+        """Cluster-wide sum of every VM's counters."""
+        totals: dict[str, int] = {}
+        for vm in self.vms:
+            for name, value in vm.counters.snapshot().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def create_vm(self, vm_config: VmConfig, *,
+                  host: Host | None = None) -> Vm:
+        """Place and instantiate a VM (``host`` overrides the policy)."""
+        target = (host if host is not None
+                  else choose_host(self.cfg.placement, self.hosts,
+                                   vm_config))
+        vm = target.create_vm(vm_config, vm_id=len(self.vms))
+        self.vms.append(vm)
+        self.placements.append((vm_config.name, target.name))
+        if len(self.hosts) > 1 and self.trace.enabled:
+            self.trace.emit("cluster.place", vm=vm_config.name,
+                            host=target.name)
+        if self.auditor is not None:
+            self.auditor.check(f"place:{vm_config.name}")
+        return vm
+
+    def deploy(self, fleet: Iterable[VmConfig]) -> list[Vm]:
+        """Place a declarative fleet spec, in order."""
+        return [self.create_vm(vm_config) for vm_config in fleet]
+
+    # ------------------------------------------------------------------
+    # pressure-driven migration
+    # ------------------------------------------------------------------
+
+    def pressure_tick(self) -> list[MigrationRecord]:
+        """One controller pass: evacuate every over-pressure host.
+
+        Runs periodically when migration is enabled; callable directly
+        from tests.  Hosts are visited in id order; each is relieved
+        until it drops below its threshold or no move is possible.
+        """
+        done: list[MigrationRecord] = []
+        for src in self.hosts:
+            while src.over_pressure:
+                vm = self._pick_migration_victim(src)
+                if vm is None:
+                    break
+                dst = self._pick_destination(vm, src)
+                if dst is None:
+                    break
+                done.append(self.migrate(vm, dst))
+        return done
+
+    def migrate(self, vm: Vm, dst: Host) -> MigrationRecord:
+        """Evacuate ``vm`` to ``dst`` and log the move."""
+        src = vm.host
+        self._region_seq += 1
+        record = migrate_vm(
+            vm, src, dst,
+            bandwidth_bytes_per_sec=(
+                self.cfg.migration.bandwidth_bytes_per_sec),
+            region_name=f"image-{vm.name}@m{self._region_seq}",
+            trace=self.trace)
+        self.migrations.append(record)
+        if self.auditor is not None:
+            self.auditor.check(f"migrate:{vm.name}")
+        return record
+
+    def _pick_migration_victim(self, src: Host) -> Vm | None:
+        """The VM whose evacuation frees the most source swap.
+
+        Largest swap footprint wins, lowest vm_id breaks ties; VMs
+        with in-flight DMA or no swap footprint are never moved.
+        """
+        candidates = [vm for vm in src.vms
+                      if vm.swap_slots and not vm.io_pinned]
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda vm: (len(vm.swap_slots), -vm.vm_id))
+
+    def _pick_destination(self, vm: Vm, src: Host) -> Host | None:
+        """The least-pressured admitting host (never the source)."""
+        candidates = [host for host in self.hosts
+                      if host is not src and host.can_admit(vm.cfg)]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda host: (host.swap_pressure,
+                                     host.committed_fraction,
+                                     host.host_id))

@@ -1,0 +1,145 @@
+"""Live migration of one VM between cluster hosts.
+
+The byte accounting reuses :class:`repro.core.migration.MigrationPlanner`
+(paper Section 7): a Mapper-equipped source ships disk-block references
+for tracked pages instead of their contents, so VSwapper guests
+evacuate with a fraction of the baseline's traffic.  The transfer cost
+lands on the VM as a stall (``vm.pending_stall``) charged to its next
+operation -- the guest observes migration as a freeze, not as CPU work.
+
+Mechanically the move is a teardown/rebuild: the source host forgets
+every frame, swap slot, and slot-ownership record of the VM (exactly
+the ``balloon_pin`` discipline, but preserving logical page contents),
+then the destination re-admits the VM, re-binds its image region and
+QEMU process, and maps every carried page back in -- applying its own
+reclaim pressure through ``_make_room`` as it does.  Mapper
+associations are block-relative, so they survive the region re-bind;
+tracked-resident pages arrive clean ("named") on the destination while
+everything else arrives dirty-assumed, as a real pre-copy would leave
+it.  Swapped-out pages are carried as resident memory: the wire format
+is page contents, not foreign swap slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.migration import MigrationPlanner
+from repro.host.qemu import QemuProcess
+from repro.host.vm import Vm, code_key
+from repro.trace.collector import NULL_TRACE
+
+from repro.cluster.host import Host
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed migration, as logged by the cluster."""
+
+    time: float
+    vm_name: str
+    src: str
+    dst: str
+    #: Guest pages re-materialized on the destination.
+    carried_pages: int
+    #: Bytes shipped (mapper-aware when the VM runs VSwapper).
+    transferred_bytes: int
+    #: Freeze charged to the VM's next operation.
+    downtime_seconds: float
+    #: Source swap pressure at the moment the controller acted.
+    src_pressure: float
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time, "vm": self.vm_name,
+            "src": self.src, "dst": self.dst,
+            "pages": self.carried_pages,
+            "bytes": self.transferred_bytes,
+            "downtime": self.downtime_seconds,
+            "src_pressure": self.src_pressure,
+        }
+
+
+def migrate_vm(vm: Vm, src: Host, dst: Host, *,
+               bandwidth_bytes_per_sec: float, region_name: str,
+               trace=NULL_TRACE) -> MigrationRecord:
+    """Evacuate ``vm`` from ``src`` to ``dst``; returns the record."""
+    src_pressure = src.swap_pressure
+    hyp = src.hypervisor
+
+    # Open emulation buffers reference source-host swap slots: close
+    # and merge them through the source before any accounting.
+    preventer = vm.preventer
+    if preventer is not None:
+        for gpa in preventer.close_all():
+            vm.counters.preventer_merges += 1
+            hyp._merge_buffered_page(vm, gpa, sync=True, context="host")
+
+    # Byte accounting over live state, before teardown empties it.
+    plan = MigrationPlanner().plan(vm)
+    transferred = (plan.vswapper_bytes if vm.mapper is not None
+                   else plan.baseline_bytes)
+    mapper = vm.mapper
+    present = sorted(vm.ept.present_gpas())
+    carried = sorted(set(present) | set(vm.swap_slots))
+    tracked = {gpa for gpa in present
+               if mapper is not None and mapper.is_tracked_resident(gpa)}
+
+    # --- source teardown: release every frame, slot, and ownership
+    # record (buffered swap-out writes simply vanish -- the contents
+    # travel over the wire instead of to the source disk).
+    for gpa in carried:
+        if vm.ept.is_present(gpa):
+            vm.ept.unmap_page(gpa)
+            src.frames.release(1)
+            vm.scanner.note_evicted(gpa)
+        if gpa in vm.swap_cache:
+            del vm.swap_cache[gpa]
+            src.frames.release(1)
+            vm.scanner.note_evicted(gpa)
+        slot = vm.swap_slots.pop(gpa, None)
+        if slot is not None:
+            vm.pending_swap.pop(gpa, None)
+            src.swap_area.free(slot)
+            hyp.slot_owner.pop(slot, None)
+        slot = vm.swap_clean.pop(gpa, None)
+        if slot is not None:
+            hyp.slot_owner.pop(slot, None)
+            src.swap_area.free(slot)
+    for index in sorted(vm.qemu.resident):
+        src.frames.release(1)
+        vm.scanner.note_evicted(code_key(index))
+    src.release_vm(vm)
+
+    # --- destination rebind: image region, QEMU text, guest kernel.
+    vm.image.region = dst.layout.add_region_pages(
+        region_name, vm.cfg.image_size_pages)
+    code_pages = dst.cfg.hypervisor_code_pages
+    base = dst.claim_code_base(code_pages)
+    vm.qemu = QemuProcess(dst._host_root, base, code_pages)
+    vm.guest.host = dst.hypervisor
+    dst.adopt_vm(vm)
+
+    # --- rebuild: map every carried page, letting the destination's
+    # own reclaim make room.  Tracked pages arrive clean and named;
+    # the rest is dirty-assumed anonymous memory, as pre-copy leaves it.
+    for gpa in carried:
+        dst.hypervisor._make_room(vm, 1, "host")
+        is_tracked = gpa in tracked
+        vm.ept.map_page(gpa, accessed=False, dirty=not is_tracked)
+        dst.frames.allocate(1)
+        vm.scanner.note_resident(gpa, named=is_tracked)
+    vm.refresh_gauges()
+
+    downtime = (transferred / bandwidth_bytes_per_sec
+                if bandwidth_bytes_per_sec > 0 else 0.0)
+    vm.pending_stall += downtime
+    vm.counters.bump("migrations")
+    if trace.enabled:
+        trace.emit("cluster.migrate", vm=vm.name, src=src.name,
+                   dst=dst.name, pages=len(carried), bytes=transferred,
+                   downtime=downtime)
+    return MigrationRecord(
+        time=src.engine.now, vm_name=vm.name, src=src.name, dst=dst.name,
+        carried_pages=len(carried), transferred_bytes=transferred,
+        downtime_seconds=downtime, src_pressure=src_pressure)

@@ -1,0 +1,50 @@
+"""Placement policies: which host receives an incoming VM.
+
+All three policies filter by admission first (overcommit ratio and
+host-root code capacity) and break ties by host id, so a placement is
+a pure function of cluster state -- no randomness, no wall clock --
+and the placement log is bit-deterministic for a given seed and fleet.
+
+* ``first-fit`` -- the lowest-id host that admits the VM (the
+  kube-scheduler default bias: fill nodes in order).
+* ``balance`` -- the admitting host with the lowest committed
+  fraction (spread load; classic least-allocated scoring).
+* ``pack`` -- the admitting host with the highest committed fraction
+  (consolidate onto few nodes; bin-packing for density).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import PLACEMENT_POLICIES, VmConfig
+from repro.errors import ConfigError, PlacementError
+
+from repro.cluster.host import Host
+
+
+def choose_host(policy: str, hosts: Sequence[Host],
+                vm_config: VmConfig) -> Host:
+    """The host ``policy`` places ``vm_config`` on.
+
+    Raises :class:`PlacementError` when no node admits the VM --
+    cluster-wide admission capacity is exhausted.
+    """
+    if policy not in PLACEMENT_POLICIES:
+        raise ConfigError(
+            f"unknown placement policy {policy!r}; expected one of "
+            f"{PLACEMENT_POLICIES}")
+    candidates = [host for host in hosts if host.can_admit(vm_config)]
+    if not candidates:
+        raise PlacementError(
+            f"no host admits VM {vm_config.name!r} "
+            f"({vm_config.guest.memory_pages} believed pages): cluster "
+            f"admission capacity exhausted across {len(hosts)} host(s)")
+    if policy == "first-fit":
+        return min(candidates, key=lambda host: host.host_id)
+    if policy == "balance":
+        return min(candidates,
+                   key=lambda host: (host.committed_fraction, host.host_id))
+    # pack: fullest admitting node first.
+    return min(candidates,
+               key=lambda host: (-host.committed_fraction, host.host_id))

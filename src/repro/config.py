@@ -349,9 +349,100 @@ class FaultConfig:
         )
 
 
+#: Placement policies the cluster scheduler understands.
+PLACEMENT_POLICIES = ("first-fit", "balance", "pack")
+
+
+@dataclass(frozen=True)
+class HostNodeConfig:
+    """One node of a cluster: host kernel, disk, and node-level budgets.
+
+    The per-node budgets mirror how cluster memory overcommit is
+    deployed in practice (KubeVirt's wasp-agent): admission is governed
+    by an overcommit *ratio* over believed guest memory, swapping by a
+    ``memory.swap.max``-style cap, and the cap's occupancy is the
+    node-pressure signal the control plane migrates against.
+    """
+
+    name: str = "host0"
+    host: HostConfig = field(default_factory=HostConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    #: Admission control: the sum of believed guest memory placed on
+    #: this node may reach this multiple of its physical frames
+    #: (None = unlimited, the single-host ``Machine`` behaviour).
+    overcommit_ratio: float | None = None
+    #: ``memory.swap.max``-style cap on host swap slots this node may
+    #: fill (None = the whole swap area; 0 = swapping forbidden).
+    swap_budget_pages: int | None = None
+    #: Fraction of the swap budget in use at which the node reports
+    #: pressure and the cluster starts evacuating VMs.
+    pressure_threshold: float = 0.9
+
+    def validate(self) -> None:
+        self.host.validate()
+        self.disk.validate()
+        if not self.name:
+            raise ConfigError("host node needs a name")
+        if self.overcommit_ratio is not None and self.overcommit_ratio <= 0:
+            raise ConfigError("overcommit_ratio must be positive")
+        if (self.swap_budget_pages is not None
+                and self.swap_budget_pages < 0):
+            raise ConfigError("swap_budget_pages must be non-negative")
+        if not 0.0 < self.pressure_threshold <= 1.0:
+            raise ConfigError("pressure_threshold must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class ClusterMigrationConfig:
+    """Pressure-driven live migration knobs."""
+
+    enabled: bool = False
+    #: Virtual seconds between node-pressure evaluations.
+    check_interval: float = 5.0
+    #: Migration network bandwidth (pre-copy transfer + downtime model).
+    bandwidth_bytes_per_sec: float = 1.25e9
+
+    def validate(self) -> None:
+        if self.check_interval <= 0:
+            raise ConfigError("migration check_interval must be positive")
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ConfigError("migration bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """N hosts sharing one engine clock and one seeded RNG."""
+
+    hosts: tuple[HostNodeConfig, ...] = (HostNodeConfig(),)
+    #: Which placement policy chooses a host per incoming VM.
+    placement: str = "first-fit"
+    migration: ClusterMigrationConfig = field(
+        default_factory=ClusterMigrationConfig)
+    seed: int = 1
+    #: Fault-injection plan; None means no fault layer at all (not even
+    #: watchdogs).  See :class:`FaultConfig`.
+    faults: FaultConfig | None = None
+
+    def validate(self) -> None:
+        if not self.hosts:
+            raise ConfigError("a cluster needs at least one host")
+        names = [node.name for node in self.hosts]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate host names: {names}")
+        for node in self.hosts:
+            node.validate()
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ConfigError(
+                f"unknown placement policy {self.placement!r}; expected "
+                f"one of {PLACEMENT_POLICIES}")
+        self.migration.validate()
+        if self.faults is not None:
+            self.faults.validate()
+
+
 @dataclass(frozen=True)
 class MachineConfig:
-    """The whole physical host."""
+    """The whole physical host (one-host alias of :class:`ClusterConfig`)."""
 
     host: HostConfig = field(default_factory=HostConfig)
     disk: DiskConfig = field(default_factory=DiskConfig)
@@ -366,6 +457,22 @@ class MachineConfig:
         if self.faults is not None:
             self.faults.validate()
 
+    def as_cluster(self) -> ClusterConfig:
+        """The equivalent cluster of one unbudgeted node.
+
+        A cluster built from this config is bit-identical to the
+        pre-cluster ``Machine``: the single node draws from the root
+        RNG with unchanged fork labels, no budgets gate its swap area,
+        and no migration controller is scheduled.
+        """
+        return ClusterConfig(
+            hosts=(HostNodeConfig(
+                name="host0", host=self.host, disk=self.disk,
+                swap_budget_pages=None),),
+            seed=self.seed,
+            faults=self.faults,
+        )
+
 
 def scaled_pages(pages: int, scale: int) -> int:
     """Divide a page count by the experiment scale factor (min 1 page).
@@ -379,13 +486,17 @@ def scaled_pages(pages: int, scale: int) -> int:
 
 
 __all__ = [
+    "ClusterConfig",
+    "ClusterMigrationConfig",
     "DiskConfig",
     "FaultConfig",
     "GuestConfig",
     "GuestOsKind",
     "HostConfig",
+    "HostNodeConfig",
     "HypervisorKind",
     "MachineConfig",
+    "PLACEMENT_POLICIES",
     "VSwapperConfig",
     "VmConfig",
     "replace",

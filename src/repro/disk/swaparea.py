@@ -16,11 +16,21 @@ from repro.errors import DiskError
 
 
 class HostSwapArea:
-    """Page-sized swap slots with run (cluster) allocation."""
+    """Page-sized swap slots with run (cluster) allocation.
 
-    def __init__(self, region: DiskRegion) -> None:
+    ``budget_slots`` is a ``memory.swap.max``-style cap: the node may
+    never hold more than that many slots at once, however large the
+    backing region is.  Exceeding it raises :class:`DiskError` exactly
+    like physical exhaustion; a budget of 0 forbids swapping outright.
+    """
+
+    def __init__(self, region: DiskRegion, *,
+                 budget_slots: int | None = None) -> None:
         self.region = region
         self.size_slots = region.size_pages
+        if budget_slots is not None and budget_slots < 0:
+            raise DiskError(f"negative swap budget: {budget_slots}")
+        self.budget_slots = budget_slots
         #: Holes below the frontier: start -> length, kept coalesced.
         self._holes: dict[int, int] = {}
         #: end (start+length) -> start, for O(1) coalescing.
@@ -49,6 +59,14 @@ class HostSwapArea:
         """Whether ``slot`` currently holds swapped content."""
         return slot in self._allocated
 
+    @property
+    def budget_pressure(self) -> float:
+        """Occupied fraction of the effective cap (budget, else region
+        size) -- the node-pressure signal the cluster migrates against."""
+        cap = (self.budget_slots if self.budget_slots is not None
+               else self.size_slots)
+        return self.used_slots / cap if cap else 0.0
+
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
@@ -64,6 +82,11 @@ class HostSwapArea:
             raise DiskError(f"non-positive run length: {n}")
         if n > self.free_slots:
             raise DiskError("host swap area exhausted")
+        if (self.budget_slots is not None
+                and self.used_slots + n > self.budget_slots):
+            raise DiskError(
+                f"swap budget exceeded: {self.used_slots} used + {n} "
+                f"requested > budget of {self.budget_slots} slots")
         best_start = None
         for start, length in self._holes.items():
             if length >= n and (best_start is None or start < best_start):

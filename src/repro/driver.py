@@ -10,12 +10,15 @@ swaps a page in; Section 5.1).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.config import GuestOsKind
 from repro.errors import GuestOomKill
 from repro.host.vm import Vm
 from repro.machine import Machine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
 from repro.sim.ops import MarkPhase
 from repro.workloads.base import Workload
 
@@ -39,10 +42,17 @@ def fault_overlap_for(threads: int, async_faults: bool) -> float:
 
 
 class VmDriver:
-    """Runs one workload inside one VM."""
+    """Runs one workload inside one VM.
 
-    def __init__(self, machine: Machine, vm: Vm, workload: Workload,
-                 *, start_delay: float = 0.0,
+    ``machine`` may be a single-host :class:`Machine` or a
+    :class:`~repro.cluster.cluster.Cluster`: host-specific state (the
+    async-page-fault capability, the phase auditor, the trace view) is
+    resolved through ``vm.host``, which placement sets and migration
+    rebinds -- a driver follows its VM across hosts.
+    """
+
+    def __init__(self, machine: "Machine | Cluster", vm: Vm,
+                 workload: Workload, *, start_delay: float = 0.0,
                  phase_callback: Optional[PhaseCallback] = None) -> None:
         self.machine = machine
         self.vm = vm
@@ -58,7 +68,7 @@ class VmDriver:
             vm.cfg.guest.os_kind is GuestOsKind.LINUX)
         vm.fault_overlap = fault_overlap_for(
             workload.threads,
-            machine.cfg.host.async_page_faults and guest_supports_async)
+            vm.host.cfg.async_page_faults and guest_supports_async)
         self._ops = iter(workload.operations())
         machine.engine.add_process(self._step, start_delay)
 
@@ -74,10 +84,11 @@ class VmDriver:
             self.finished_at = now
             return None
 
-        trace = self.machine.trace
+        trace = self.vm.host.trace
         if isinstance(op, MarkPhase):
-            if self.machine.auditor is not None:
-                self.machine.auditor.on_phase(op.name)
+            auditor = self.vm.host.auditor
+            if auditor is not None:
+                auditor.on_phase(op.name)
             if trace.enabled:
                 trace.emit("phase.mark", vm=self.vm.name, name=op.name)
             if self.phase_callback is not None:
@@ -104,7 +115,10 @@ class VmDriver:
         finally:
             if trace.enabled:
                 trace.end_span(sid)
-        return self.vm.costs.duration(self.vm.fault_overlap)
+        # Migration downtime lands out-of-band on the VM; the freeze is
+        # charged to whatever the guest ran next.
+        return (self.vm.costs.duration(self.vm.fault_overlap)
+                + self.vm.take_pending_stall())
 
     @property
     def done(self) -> bool:

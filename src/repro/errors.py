@@ -66,6 +66,17 @@ class HostError(ReproError):
     """The hypervisor model was driven into an invalid state."""
 
 
+class PlacementError(HostError):
+    """The cluster scheduler could not place a VM on any host.
+
+    Admission control (per-node overcommit ratios and host-root code
+    capacity) rejected the VM everywhere.  Deriving from
+    :class:`HostError` keeps the sweep semantics of other capacity
+    failures: the cell reports as *crashed* instead of aborting the
+    sweep.
+    """
+
+
 class FaultError(ReproError):
     """An injected fault exhausted its retry budget.
 

@@ -37,6 +37,11 @@ from repro.experiments.ablations import (
     ssd_cell,
 )
 from repro.experiments.chaos import build_chaos_sweep, chaos_cell, run_chaos
+from repro.experiments.cluster import (
+    build_cluster_exp_sweep,
+    cluster_fleet_cell,
+    run_cluster_experiment,
+)
 from repro.experiments.dynamic import (
     build_fig04_sweep,
     build_fig14_sweep,
@@ -153,6 +158,9 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
     "migration-study": ExperimentDef(
         "migration-study", "live-migration traffic with Mapper knowledge",
         run_migration_study, build_migration_sweep),
+    "cluster": ExperimentDef(
+        "cluster", "four-node consolidation density vs per-guest slowdown",
+        run_cluster_experiment, build_cluster_exp_sweep),
     "chaos": ExperimentDef(
         "chaos", "five configs under deterministic fault injection",
         run_chaos, build_chaos_sweep),
@@ -181,6 +189,7 @@ CELL_RUNNERS: dict[str, Callable[[CellSpec], RunResult]] = {
     "ablation-cluster": cluster_cell,
     "migration-study": migration_cell,
     "chaos": chaos_cell,
+    "cluster": cluster_fleet_cell,
 }
 
 

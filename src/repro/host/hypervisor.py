@@ -66,6 +66,9 @@ class Hypervisor:
         #: Trace collector; the machine swaps in a live one under
         #: ``--trace``.
         self.trace = NULL_TRACE
+        #: Name of the owning cluster host (identity for trace/audit
+        #: attribution); set by :class:`repro.cluster.host.Host`.
+        self.host_name: str | None = None
 
     def register_vm(self, vm: Vm) -> None:
         """Add a VM to the reclaim population."""

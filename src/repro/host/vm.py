@@ -89,6 +89,16 @@ class Vm:
         self.fault_overlap = 1.0
         #: Attached by the machine right after guest construction.
         self.guest: "GuestKernel | None" = None
+        #: Owning cluster host; set on placement, rebound on migration.
+        self.host = None
+        #: Stall seconds to charge to the VM's next operation (live
+        #: migration downtime lands here; the driver drains it).
+        self.pending_stall = 0.0
+
+    def take_pending_stall(self) -> float:
+        """Drain the out-of-band stall charge (migration downtime)."""
+        stall, self.pending_stall = self.pending_stall, 0.0
+        return stall
 
     # ------------------------------------------------------------------
 

@@ -1,204 +1,113 @@
-"""Machine assembly: one physical host with disk, memory, and VMs.
+"""Machine: the single-host facade over a cluster of one.
 
-A :class:`Machine` wires the engine, the shared disk, the frame pool,
-the hypervisor, and any number of VMs (each with its own guest kernel,
-image region, and QEMU process).  Experiments construct a machine from
-a :class:`repro.config.MachineConfig`, add VMs and workloads, and run
-the engine.
+Historically this module assembled the engine, disk, frame pool,
+hypervisor, and VMs itself; that per-host assembly now lives in
+:class:`repro.cluster.host.Host`, and a :class:`Machine` is a thin
+facade over a one-host :class:`repro.cluster.cluster.Cluster`.  The
+facade is *bit-identical* to the old assembly: the single host draws
+from the cluster's root RNG with unchanged fork labels, no budgets
+gate its swap area, and no migration controller is scheduled -- so
+every existing experiment, figure, and cached store key is untouched.
+
+Experiments construct a machine from a
+:class:`repro.config.MachineConfig`, add VMs and workloads, and run
+the engine, exactly as before.
 """
 
 from __future__ import annotations
 
-from repro.audit import InvariantAuditor, paranoid_enabled
-from repro.config import DiskConfig, MachineConfig, VmConfig
-from repro.disk.device import DiskDevice
-from repro.disk.geometry import DiskLayout
-from repro.disk.image import VirtualDiskImage
-from repro.disk.latency import HddLatencyModel, LatencyModel, SsdLatencyModel
-from repro.disk.swaparea import HostSwapArea
-from repro.errors import ConfigError
-from repro.faults.plan import FaultPlan, default_fault_config
-from repro.guest.kernel import GuestKernel
-from repro.host.hypervisor import Hypervisor
-from repro.host.qemu import QemuProcess
+from repro.cluster.cluster import Cluster
+from repro.cluster.host import Host, build_latency_model  # noqa: F401
+# build_latency_model is re-exported: it predates the cluster package
+# and callers import it from here.
+from repro.config import MachineConfig, VmConfig
 from repro.host.vm import Vm
-from repro.mem.frames import FramePool
-from repro.mem.page import AnonContent
-from repro.metrics.counters import Counters
-from repro.sim.engine import Engine
-from repro.sim.ops import WritePattern
-from repro.sim.rng import DeterministicRng
-from repro.trace import tracing_mode
-from repro.trace.collector import NULL_TRACE, TraceCollector
-from repro.units import mib_pages
-
-
-def build_latency_model(cfg: DiskConfig) -> LatencyModel:
-    """Instantiate the latency model the disk config asks for."""
-    cfg.validate()
-    if cfg.kind == "ssd":
-        return SsdLatencyModel(
-            bandwidth_bytes_per_sec=cfg.bandwidth_bytes_per_sec,
-            read_latency=cfg.ssd_read_latency,
-            write_latency=cfg.ssd_write_latency,
-        )
-    return HddLatencyModel(
-        bandwidth_bytes_per_sec=cfg.bandwidth_bytes_per_sec,
-        seek_min=cfg.seek_min,
-        seek_max=cfg.seek_max,
-        rpm=cfg.rpm,
-        rotation_fraction=cfg.rotation_fraction,
-        per_request_overhead=cfg.per_request_overhead,
-    )
 
 
 class Machine:
-    """One simulated physical host."""
+    """One simulated physical host (a cluster of one)."""
 
     #: Host-root region size: holds the QEMU executables of all VMs.
-    HOST_ROOT_PAGES = mib_pages(256)
+    HOST_ROOT_PAGES = Host.HOST_ROOT_PAGES
 
     def __init__(self, config: MachineConfig) -> None:
         config.validate()
         self.cfg = config
-        # The config's explicit FaultConfig wins; otherwise the
-        # process-wide default (the CLI's --faults flag) applies.
-        fault_cfg = (config.faults if config.faults is not None
-                     else default_fault_config())
-        if fault_cfg is not None:
-            fault_cfg.validate()
-        self.engine = Engine(
-            max_events=(fault_cfg.watchdog_max_events
-                        if fault_cfg else None),
-            max_virtual_time=(fault_cfg.watchdog_max_virtual_time
-                              if fault_cfg else None))
-        self.rng = DeterministicRng(config.seed)
-        #: Deterministic fault schedule; None when injection is off.
-        self.faults: FaultPlan | None = (
-            FaultPlan(fault_cfg, self.rng.fork("faults"))
-            if fault_cfg is not None and fault_cfg.enabled else None)
+        self.cluster = Cluster(config.as_cluster())
+        self._host = self.cluster.hosts[0]
 
-        self.layout = DiskLayout()
-        self._host_root = self.layout.add_region_pages(
-            "host-root", self.HOST_ROOT_PAGES)
-        swap_region = self.layout.add_region_pages(
-            "host-swap", config.host.swap_size_pages)
-        self.swap_area = HostSwapArea(swap_region)
+    # ------------------------------------------------------------------
+    # the single host's parts, at their historical names
+    # ------------------------------------------------------------------
 
-        self.disk = DiskDevice(
-            self.engine.clock, build_latency_model(config.disk),
-            max_write_backlog=config.disk.max_write_backlog_seconds,
-            faults=self.faults)
-        self.frames = FramePool(config.host.total_memory_pages)
-        self.hypervisor = Hypervisor(
-            self.engine.clock, self.disk, self.frames,
-            self.swap_area, config.host, rng=self.rng.fork("hypervisor"),
-            faults=self.faults)
+    @property
+    def engine(self):
+        return self.cluster.engine
 
-        self.vms: list[Vm] = []
-        self._next_code_base = 0
+    @property
+    def rng(self):
+        return self.cluster.rng
 
-        #: Trace collector; live only under --trace (the ambient mode),
-        #: so ordinary runs keep the no-op emit path.
-        mode = tracing_mode()
-        self.trace = (TraceCollector(self.engine.clock, mode=mode)
-                      if mode is not None else NULL_TRACE)
-        self.engine.trace = self.trace
-        self.disk.trace = self.trace
-        self.hypervisor.trace = self.trace
+    @property
+    def faults(self):
+        return self.cluster.faults
 
-        #: Runtime invariant auditor; installed only under --paranoid
-        #: (the ambient flag), so ordinary runs pay nothing.
-        self.auditor: InvariantAuditor | None = (
-            InvariantAuditor(self) if paranoid_enabled() else None)
-        self.hypervisor.auditor = self.auditor
+    @property
+    def trace(self):
+        return self.cluster.trace
+
+    @property
+    def layout(self):
+        return self._host.layout
+
+    @property
+    def swap_area(self):
+        return self._host.swap_area
+
+    @property
+    def disk(self):
+        return self._host.disk
+
+    @property
+    def frames(self):
+        return self._host.frames
+
+    @property
+    def hypervisor(self):
+        return self._host.hypervisor
+
+    @property
+    def vms(self) -> list[Vm]:
+        return self._host.vms
+
+    @property
+    def auditor(self):
+        return self._host.auditor
 
     @property
     def now(self) -> float:
         """Current virtual time."""
         return self.engine.now
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
     def create_vm(self, vm_config: VmConfig) -> Vm:
         """Instantiate a VM: image region, QEMU process, guest kernel."""
-        vm_id = len(self.vms)
-        region = self.layout.add_region_pages(
-            f"image-{vm_config.name}", vm_config.image_size_pages)
-        image = VirtualDiskImage(region)
-
-        code_pages = self.cfg.host.hypervisor_code_pages
-        if (self._next_code_base + code_pages
-                > self._host_root.size_pages):
-            raise ConfigError("host-root region exhausted; too many VMs")
-        qemu = QemuProcess(self._host_root, self._next_code_base, code_pages)
-        self._next_code_base += code_pages
-
-        vm = Vm(vm_config, vm_id, image, qemu,
-                named_fraction=self.cfg.host.named_fraction,
-                reclaim_noise=self.cfg.host.reclaim_noise,
-                rng=self.rng.fork(f"reclaim-{vm_config.name}"))
-        vm.guest = GuestKernel(
-            vm_config.guest, vm, self.hypervisor,
-            image.size_blocks, self.rng.fork(f"guest-{vm_config.name}"))
-        self.hypervisor.register_vm(vm)
-        self.vms.append(vm)
-        vm.scanner.trace = self.trace
-        vm.scanner.trace_vm = vm_config.name
-        if vm.mapper is not None:
-            vm.mapper.trace = self.trace
-            vm.mapper.trace_vm = vm_config.name
-
-        if vm_config.static_balloon_pages:
-            self.apply_static_balloon(vm, vm_config.static_balloon_pages)
-        return vm
+        return self.cluster.create_vm(vm_config, host=self._host)
 
     def boot_guest(self, vm: Vm, *, fraction: float = 1.0) -> None:
         """Model the guest's uptime history before the experiment.
 
-        A real guest has touched essentially all of its believed memory
-        by the time a benchmark runs (boot, daemons, earlier jobs), so
-        under uncooperative swapping the host swap area holds a large
-        population of dead-but-swapped pages.  Those stragglers are the
-        persistent state that fragments swap-slot runs over time --
-        without them, decayed swap sequentiality cannot accumulate.
-
-        The phase is untimed: costs, counters, and disk state reset.
+        See :meth:`repro.cluster.host.Host.boot_guest` -- the phase is
+        untimed: costs, counters, and disk state reset.
         """
-        guest = vm.guest
-        keep_free = guest.cfg.derived_free_target
-        touch_pages = int(max(0, len(guest.free_list) - keep_free) * fraction)
-        if touch_pages > 0:
-            region = guest.anon.commit("boot-history", touch_pages)
-            for index in range(touch_pages):
-                gpa = guest._alloc_gpa()
-                self.hypervisor.overwrite_page(
-                    vm, gpa, AnonContent.fresh(),
-                    WritePattern.FULL_SEQUENTIAL)
-                guest.anon.place_in_memory("boot-history", index, gpa)
-                guest.scanner.note_resident(gpa, named=False)
-            released, slots = guest.anon.release_region("boot-history")
-            for gpa in released:
-                guest.scanner.note_evicted(gpa)
-                guest.free_list.append(gpa)
-            for slot in slots:
-                guest.gswap.free(slot)
-        vm.costs.reset()
-        vm.counters = Counters()
-        self.disk.quiesce()
-        # Boot history is untimed setup: drop its events too, so the
-        # analyzer's counts line up with the reset counters bit-exactly.
-        self.trace.reset()
+        self._host.boot_guest(vm, fraction=fraction)
 
     def apply_static_balloon(self, vm: Vm, pages: int) -> None:
-        """Pre-inflate the balloon before the workload starts.
-
-        Controlled experiments (Section 5.1) configure the balloon once
-        and leave it; inflation on a freshly booted guest is pure
-        free-list allocation, so no cost accrues.
-        """
-        guest = vm.guest
-        guest.set_balloon_target(pages)
-        guest.apply_balloon(pages)
-        vm.costs.reset()
+        """Pre-inflate the balloon before the workload starts."""
+        self._host.apply_static_balloon(vm, pages)
 
     def run(self, until: float | None = None) -> float:
         """Run the engine until all work completes (or ``until``)."""
@@ -206,8 +115,4 @@ class Machine:
 
     def aggregate_counters(self) -> dict[str, int]:
         """Machine-wide sum of every VM's counters."""
-        totals: dict[str, int] = {}
-        for vm in self.vms:
-            for name, value in vm.counters.snapshot().items():
-                totals[name] = totals.get(name, 0) + value
-        return totals
+        return self._host.aggregate_counters()

@@ -69,6 +69,41 @@ class NullTraceCollector:
 NULL_TRACE = NullTraceCollector()
 
 
+class HostTaggedTrace:
+    """A per-host view of a shared collector.
+
+    A multi-host cluster records into *one* ring (cross-host ordering
+    is the point), but every event must say which host produced it.
+    Hosts therefore get this thin wrapper, which stamps ``host=<name>``
+    into each event's args; single-host runs keep the raw collector so
+    their event bytes stay identical to the pre-cluster ``Machine``.
+    """
+
+    def __init__(self, collector: TraceCollector, host: str) -> None:
+        self._collector = collector
+        self.host = host
+
+    @property
+    def enabled(self) -> bool:
+        return self._collector.enabled
+
+    def emit(self, kind: str, *, vm: str | None = None,
+             at: float | None = None, **args) -> None:
+        self._collector.emit(kind, vm=vm, at=at, host=self.host, **args)
+
+    def begin_span(self, name: str, *, vm: str | None = None) -> int:
+        return self._collector.begin_span(name, vm=vm)
+
+    def end_span(self, sid: int) -> None:
+        self._collector.end_span(sid)
+
+    def reset(self) -> None:
+        self._collector.reset()
+
+    def finish(self):
+        return self._collector.finish()
+
+
 class TraceCollector:
     """Record typed events and causal spans against a virtual clock."""
 

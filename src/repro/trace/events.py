@@ -23,9 +23,17 @@ kind                   emitted by / meaning
 ``preventer.emulate``  Preventer classified a whole-page overwrite
 ``preventer.merge``    an emulation buffer was merged back (args: sync)
 ``phase.mark``         workload phase boundary (args: name)
+``cluster.place``      scheduler placed a VM on a host (args: host)
+``cluster.migrate``    pressure-driven evacuation moved a VM (args: src,
+                       dst, pages, bytes, downtime)
 ``engine.stop``        the engine was halted
 ``engine.watchdog``    a watchdog limit fired (the run is about to abort)
 =====================  =====================================================
+
+Multi-host cluster runs share one collector; each host-side event then
+additionally carries ``host=<name>`` in its args (single-host runs
+omit it, keeping their event bytes identical to the pre-cluster
+``Machine``).
 
 A *span* brackets one guest operation (``FileRead``, ``Touch``, ...);
 every event emitted while it is open carries its id, which is the

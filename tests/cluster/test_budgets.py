@@ -1,0 +1,108 @@
+"""Swap budgets: ``memory.swap.max``-style caps on node swap usage."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.disk.geometry import DiskLayout
+from repro.disk.swaparea import HostSwapArea
+from repro.errors import DiskError
+from repro.exec.spec import CellSpec
+from repro.experiments.cluster import cluster_fleet_cell
+from tests.cluster.conftest import fill_to_limit, small_node
+from tests.conftest import small_vm_config
+
+
+def swap_area(size_pages: int = 1024, **kwargs) -> HostSwapArea:
+    region = DiskLayout().add_region_pages("swap", size_pages)
+    return HostSwapArea(region, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# allocator-level enforcement
+# ----------------------------------------------------------------------
+
+def test_budget_zero_forbids_swapping():
+    area = swap_area(budget_slots=0)
+    with pytest.raises(DiskError, match="budget"):
+        area.allocate_run(1)
+    assert area.used_slots == 0
+    assert area.budget_pressure == 0.0
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(DiskError):
+        swap_area(budget_slots=-1)
+
+
+def test_budget_caps_below_region_size():
+    area = swap_area(size_pages=1024, budget_slots=8)
+    area.allocate_run(8)
+    with pytest.raises(DiskError, match="budget"):
+        area.allocate_run(1)
+    assert area.used_slots == 8
+    assert area.free_slots == 1024 - 8  # region itself far from full
+
+
+def test_freeing_restores_budget_headroom():
+    area = swap_area(budget_slots=4)
+    slots = area.allocate_run(4)
+    area.free(slots[0])
+    assert area.budget_pressure == 0.75
+    area.allocate_run(1)  # headroom is back
+    with pytest.raises(DiskError, match="budget"):
+        area.allocate_run(1)
+
+
+def test_budget_pressure_tracks_cap_not_region():
+    area = swap_area(size_pages=1000, budget_slots=10)
+    area.allocate_run(5)
+    assert area.budget_pressure == 0.5
+    unbudgeted = swap_area(size_pages=1000)
+    unbudgeted.allocate_run(5)
+    assert unbudgeted.budget_pressure == 0.005
+
+
+# ----------------------------------------------------------------------
+# node-level enforcement through the hypervisor swap path
+# ----------------------------------------------------------------------
+
+def test_budget_zero_node_cannot_evict_to_swap():
+    cluster = Cluster(ClusterConfig(
+        hosts=(small_node(swap_budget_pages=0),)))
+    vm = cluster.create_vm(small_vm_config(resident_limit_mib=4))
+    with pytest.raises(DiskError, match="budget"):
+        fill_to_limit(vm, extra=64)
+    assert cluster.hosts[0].swap_area.used_slots == 0
+
+
+def test_budget_below_working_set_fails_mid_run():
+    budget = 64
+    cluster = Cluster(ClusterConfig(
+        hosts=(small_node(swap_budget_pages=budget),)))
+    vm = cluster.create_vm(small_vm_config(resident_limit_mib=4))
+    with pytest.raises(DiskError, match="budget"):
+        fill_to_limit(vm, extra=512)  # needs far more than 64 slots
+    assert cluster.hosts[0].swap_area.used_slots <= budget
+
+
+def test_unbudgeted_node_swaps_freely():
+    cluster = Cluster(ClusterConfig(hosts=(small_node(),)))
+    vm = cluster.create_vm(small_vm_config(resident_limit_mib=4))
+    fill_to_limit(vm, extra=512)
+    assert cluster.hosts[0].swap_area.used_slots > 0
+
+
+# ----------------------------------------------------------------------
+# the experiment reports an over-budget fleet as a crashed cell
+# ----------------------------------------------------------------------
+
+def test_overdense_fleet_reports_crashed_cell():
+    spec = CellSpec(
+        experiment_id="cluster", cell_id="baseline@first-fitx16",
+        scale=32, config="baseline",
+        params={"num_guests": 16, "num_hosts": 4, "policy": "first-fit"})
+    result = cluster_fleet_cell(spec)
+    assert result.crashed
+    assert result.runtime is None
+    assert "budget" in result.crash_reason

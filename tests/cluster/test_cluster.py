@@ -1,0 +1,144 @@
+"""Cluster assembly: placement policies, admission, and the facade."""
+
+import pytest
+
+from repro.cluster import Cluster, choose_host
+from repro.config import ClusterConfig, MachineConfig
+from repro.errors import ConfigError, PlacementError
+from repro.machine import Machine
+from tests.cluster.conftest import fill_to_limit, small_node
+from tests.conftest import (
+    small_machine_config,
+    small_vm_config,
+)
+
+
+def four_nodes(**kwargs):
+    return tuple(small_node(f"node{i}", **kwargs) for i in range(4))
+
+
+# ----------------------------------------------------------------------
+# placement policies
+# ----------------------------------------------------------------------
+
+def test_first_fit_fills_lowest_host_first():
+    cluster = Cluster(ClusterConfig(
+        hosts=four_nodes(overcommit_ratio=0.125),  # 32 MiB: two guests
+        placement="first-fit"))
+    for i in range(5):
+        cluster.create_vm(small_vm_config(name=f"vm{i}"))
+    assert cluster.placements == [
+        ("vm0", "node0"), ("vm1", "node0"),
+        ("vm2", "node1"), ("vm3", "node1"),
+        ("vm4", "node2"),
+    ]
+
+
+def test_balance_spreads_across_hosts():
+    cluster = Cluster(ClusterConfig(
+        hosts=four_nodes(), placement="balance"))
+    for i in range(6):
+        cluster.create_vm(small_vm_config(name=f"vm{i}"))
+    hosts = [host for _, host in cluster.placements]
+    assert hosts == ["node0", "node1", "node2", "node3",
+                     "node0", "node1"]
+
+
+def test_pack_concentrates_until_full():
+    cluster = Cluster(ClusterConfig(
+        hosts=four_nodes(overcommit_ratio=0.125),
+        placement="pack"))
+    for i in range(3):
+        cluster.create_vm(small_vm_config(name=f"vm{i}"))
+    assert [h for _, h in cluster.placements] == \
+        ["node0", "node0", "node1"]
+
+
+def test_placement_error_when_nothing_admits():
+    cluster = Cluster(ClusterConfig(
+        hosts=(small_node(overcommit_ratio=0.05),)))  # 12.8 MiB < guest
+    with pytest.raises(PlacementError):
+        cluster.create_vm(small_vm_config())
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ConfigError):
+        Cluster(ClusterConfig(hosts=(small_node(),),
+                              placement="round-robin"))
+
+
+def test_choose_host_skips_full_hosts():
+    cluster = Cluster(ClusterConfig(
+        hosts=four_nodes(overcommit_ratio=0.0625)))  # 16 MiB: one guest
+    cluster.create_vm(small_vm_config(name="vm0"))
+    target = choose_host("first-fit", cluster.hosts, small_vm_config())
+    assert target.name == "node1"
+
+
+# ----------------------------------------------------------------------
+# admission accounting
+# ----------------------------------------------------------------------
+
+def test_committed_pages_follow_vm_lifecycle():
+    cluster = Cluster(ClusterConfig(hosts=four_nodes()))
+    vm = cluster.create_vm(small_vm_config())
+    src = vm.host
+    believed = vm.cfg.guest.memory_pages
+    assert src.committed_guest_pages == believed
+    src.release_vm(vm)
+    assert src.committed_guest_pages == 0
+    assert vm not in src.vms
+    assert vm not in src.hypervisor.vms
+
+
+def test_unlimited_ratio_admits_past_physical_memory():
+    # None = the single-host Machine behaviour: admission never blocks.
+    node = small_node(total_memory_pages=8192)  # 32 MiB physical
+    cluster = Cluster(ClusterConfig(hosts=(node,)))
+    for i in range(4):  # 64 MiB believed on 32 MiB physical
+        cluster.create_vm(small_vm_config(name=f"vm{i}"))
+    assert len(cluster.hosts[0].vms) == 4
+
+
+# ----------------------------------------------------------------------
+# the Machine facade
+# ----------------------------------------------------------------------
+
+def test_machine_is_a_cluster_of_one():
+    machine = Machine(small_machine_config())
+    assert len(machine.cluster.hosts) == 1
+    assert machine.hypervisor is machine.cluster.hosts[0].hypervisor
+    assert machine.engine is machine.cluster.engine
+
+
+def test_facade_bit_identical_to_explicit_cluster():
+    """The same seed drives the same eviction choices whether the host
+    is reached through Machine or through its one-node Cluster."""
+    config = small_machine_config()
+    machine = Machine(config)
+    cluster = Cluster(config.as_cluster())
+
+    vm_a = machine.create_vm(small_vm_config(resident_limit_mib=4))
+    vm_b = cluster.create_vm(small_vm_config(resident_limit_mib=4))
+    fill_to_limit(vm_a, extra=256)
+    fill_to_limit(vm_b, extra=256)
+
+    assert vm_a.counters.snapshot() == vm_b.counters.snapshot()
+    assert sorted(vm_a.swap_slots) == sorted(vm_b.swap_slots)
+    assert machine.swap_area.used_slots == \
+        cluster.hosts[0].swap_area.used_slots
+
+
+def test_facade_create_vm_keeps_config_error():
+    machine = Machine(small_machine_config(hypervisor_code_pages=32768))
+    machine.create_vm(small_vm_config(name="vm0"))
+    machine.create_vm(small_vm_config(name="vm1"))
+    with pytest.raises(ConfigError):
+        machine.create_vm(small_vm_config(name="vm2"))
+
+
+def test_vm_host_backref_set_on_placement():
+    cluster = Cluster(ClusterConfig(hosts=four_nodes()))
+    vm = cluster.create_vm(small_vm_config())
+    assert vm.host is cluster.hosts[0]
+    assert vm in cluster.vms
