@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import sys
 from pathlib import Path
 
 import pytest
@@ -72,6 +74,13 @@ def _timings_payload(figure_result, store: ResultStore) -> dict:
         "scale": BENCH_SCALE,
         "stats": None,
         "cell_wall_seconds": {},
+        # Wall times are only comparable across runs on the same
+        # interpreter and hardware; stamp both so CI perf gates can
+        # refuse apples-to-oranges comparisons.
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
     }
     if stats is not None:
         payload["stats"] = {

@@ -21,6 +21,11 @@ and ``--kill-workers RATE`` injects deterministic worker-process
 deaths to exercise exactly that recovery path.  ``--paranoid`` turns
 on the runtime invariant auditor inside every simulation.
 
+``--profile`` wraps every cell runner in cProfile and writes a
+hot-function report per cell (under ``<results-dir>/profiles/``)
+without changing any result -- the perf-work lever DESIGN.md
+section 12 describes.
+
 ``--trace`` records a structured event trace per cell (composing with
 ``--jobs``, ``--resume``, and ``--paranoid``); the ``trace``
 subcommand exports stored traces as Chrome trace-event JSON, re-derives
@@ -145,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the invariant auditor inside every simulation "
              "(frame conservation, EPT/mapper consistency, clock "
              "monotonicity); violations crash the cell")
+    run.add_argument(
+        "--profile", action="store_true",
+        help="profile every cell with cProfile and write a hot-"
+             "function report per cell (cumulative / internal / call-"
+             "count views) under <results-dir>/profiles/, or "
+             "./profiles/ without --results-dir; results stay bit-"
+             "identical")
     run.add_argument(
         "--trace", nargs="?", const="full", default=None,
         choices=("full", "sampled"), metavar="MODE",
@@ -271,11 +283,14 @@ def _run_one(experiment_id: str, scale: int, *, executor=None,
 def _run_command(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
+    from pathlib import Path
+
     from repro.audit import set_paranoid
     from repro.config import FaultConfig
     from repro.exec.executor import make_executor
     from repro.exec.store import ResultStore
     from repro.faults.plan import StoreFaultConfig, set_default_fault_config
+    from repro.profiling import set_profiling
     from repro.trace import set_tracing
 
     if args.resume and not args.results_dir:
@@ -314,6 +329,11 @@ def _run_command(args: argparse.Namespace) -> int:
         set_paranoid(True)
     if args.trace:
         set_tracing(args.trace)
+    profile_dir = None
+    if args.profile:
+        profile_dir = (Path(args.results_dir) / "profiles"
+                       if args.results_dir else Path("profiles"))
+        set_profiling(profile_dir)
     try:
         if args.experiment == "all":
             totals = [0, 0, 0, 0, 0, 0.0]
@@ -329,10 +349,13 @@ def _run_command(args: argparse.Namespace) -> int:
         else:
             _run_one(args.experiment, args.scale, executor=executor,
                      store=store, resume=args.resume)
+        if profile_dir is not None:
+            print(f"[cell profiles written under {profile_dir}/]")
     finally:
         set_default_fault_config(None)
         set_paranoid(False)
         set_tracing(None)
+        set_profiling(None)
     return 0
 
 

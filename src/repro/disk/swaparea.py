@@ -142,9 +142,10 @@ class HostSwapArea:
 
     def free(self, slot: int) -> None:
         """Return ``slot`` to the pool, coalescing with neighbours."""
-        if slot not in self._allocated:
-            raise DiskError(f"double free of swap slot {slot}")
-        self._allocated.remove(slot)
+        try:
+            self._allocated.remove(slot)
+        except KeyError:
+            raise DiskError(f"double free of swap slot {slot}") from None
         start, length = slot, 1
         # Merge with the hole ending exactly where this one starts.
         left_start = self._hole_ends.pop(slot, None)

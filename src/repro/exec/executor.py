@@ -61,12 +61,16 @@ def execute_cell(spec: CellSpec) -> RunResult:
         default_fault_config,
         set_default_fault_config,
     )
+    from repro.profiling import profile_runner, profiling_dir
 
     runner = cell_runner(spec.experiment_id)
     ambient = default_fault_config()
     set_default_fault_config(faults_from_params(spec.faults))
     try:
-        result = runner(spec)
+        if profiling_dir() is not None:
+            result = profile_runner(runner, spec)
+        else:
+            result = runner(spec)
     finally:
         set_default_fault_config(ambient)
     if result.timeline is not None:
@@ -111,15 +115,18 @@ class SerialExecutor:
         return results
 
 
-def _init_pool_worker(paranoid: bool, trace_mode: str | None) -> None:
-    """Pool-worker initializer: carry the ambient paranoid and tracing
-    flags across the process boundary (fork inherits them, spawn would
-    not)."""
+def _init_pool_worker(paranoid: bool, trace_mode: str | None,
+                      profile_dir: str | None) -> None:
+    """Pool-worker initializer: carry the ambient paranoid, tracing,
+    and profiling flags across the process boundary (fork inherits
+    them, spawn would not)."""
     from repro.audit import set_paranoid
+    from repro.profiling import set_profiling
     from repro.trace import set_tracing
 
     set_paranoid(paranoid)
     set_tracing(trace_mode)
+    set_profiling(profile_dir)
 
 
 class ParallelExecutor:
@@ -140,6 +147,7 @@ class ParallelExecutor:
                   ) -> list[tuple[RunResult, float]]:
         """(result, wall seconds) per spec, in submission order."""
         from repro.audit import paranoid_enabled
+        from repro.profiling import profiling_dir
         from repro.trace import tracing_mode
 
         specs = list(specs)
@@ -148,7 +156,8 @@ class ParallelExecutor:
             return SerialExecutor().run_cells(specs, on_cell)
         with ProcessPoolExecutor(
                 max_workers=workers, initializer=_init_pool_worker,
-                initargs=(paranoid_enabled(), tracing_mode())) as pool:
+                initargs=(paranoid_enabled(), tracing_mode(),
+                          profiling_dir())) as pool:
             futures = [pool.submit(_timed_execute, spec) for spec in specs]
             if on_cell is not None:
                 spec_of = dict(zip(futures, specs))

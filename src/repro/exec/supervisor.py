@@ -128,7 +128,8 @@ class SupervisorConfig:
 
 
 def _supervised_worker(conn: Connection, spec_dict: dict, attempt: int,
-                       paranoid: bool, trace_mode: str | None) -> None:
+                       paranoid: bool, trace_mode: str | None,
+                       profile_dir: str | None) -> None:
     """Worker-process body: run one cell attempt, report on the pipe.
 
     Every outcome is reported as a tagged tuple; the parent treats a
@@ -141,11 +142,13 @@ def _supervised_worker(conn: Connection, spec_dict: dict, attempt: int,
     from repro.audit import set_paranoid
     from repro.exec.executor import _timed_execute
     from repro.faults.plan import should_kill_worker
+    from repro.profiling import set_profiling
     from repro.trace import set_tracing
 
     try:
         set_paranoid(paranoid)
         set_tracing(trace_mode)
+        set_profiling(profile_dir)
         spec = CellSpec.from_dict(spec_dict)
         chaos = faults_from_params(spec.faults)
         if chaos is not None and should_kill_worker(
@@ -227,6 +230,7 @@ class CellSupervisor:
     ) -> list[tuple[RunResult | CellFailure, float]]:
         """(outcome, wall seconds) per spec, in submission order."""
         from repro.audit import paranoid_enabled
+        from repro.profiling import profiling_dir
         from repro.trace import tracing_mode
 
         specs = list(specs)
@@ -235,6 +239,7 @@ class CellSupervisor:
             return []
         paranoid = paranoid_enabled()
         trace_mode = tracing_mode()
+        profile_dir = profiling_dir()
         outcomes: dict[int, tuple[RunResult | CellFailure, float]] = {}
         #: Wall seconds burned by failed attempts, per cell index.
         burned: dict[int, float] = {}
@@ -245,7 +250,8 @@ class CellSupervisor:
         try:
             while queue or running:
                 now = time.monotonic()
-                self._launch_ready(queue, running, now, paranoid, trace_mode)
+                self._launch_ready(queue, running, now, paranoid, trace_mode,
+                                   profile_dir)
                 self._wait(queue, running, now)
                 now = time.monotonic()
                 for worker in list(running):
@@ -270,7 +276,8 @@ class CellSupervisor:
 
     def _launch_ready(self, queue: list[_Pending], running: list[_Running],
                       now: float, paranoid: bool,
-                      trace_mode: str | None) -> None:
+                      trace_mode: str | None,
+                      profile_dir: str | None) -> None:
         """Start waiting cells, oldest first, up to the jobs cap.
 
         A cell sitting out its backoff does not block later cells from
@@ -286,7 +293,7 @@ class CellSupervisor:
             process = mp.Process(
                 target=_supervised_worker,
                 args=(child_conn, pending.spec.to_dict(), pending.attempt,
-                      paranoid, trace_mode),
+                      paranoid, trace_mode, profile_dir),
                 daemon=True)
             process.start()
             child_conn.close()  # the worker holds the only write end

@@ -94,6 +94,17 @@ class GuestKernel:
 
         self._zero_cursor = 0
         self._windows = config.os_kind is GuestOsKind.WINDOWS
+        # Allocation runs once per page of guest activity: hoist the
+        # config-derived watermarks and the raw uniform-int primitive
+        # (``randint(1, w)`` consumes exactly one ``_randbelow(w)``
+        # draw, so binding it keeps the RNG sequence bit-identical).
+        self._free_min = config.derived_free_min
+        self._free_target = config.derived_free_target
+        self._alloc_window = config.allocator_window
+        self._dirty_threshold = int(
+            config.dirty_threshold_fraction * config.memory_pages)
+        self._getrandbits = getattr(
+            getattr(rng, "_random", None), "getrandbits", None)
 
     # ------------------------------------------------------------------
     # operation dispatch
@@ -138,36 +149,67 @@ class GuestKernel:
 
     def _file_read(self, op: FileRead) -> None:
         fobj = self.fs.file(op.file_id)
+        offset = op.offset_pages
+        npages = op.npages
+        # Bounds-check the whole span once; the per-page loops below
+        # then use plain extent arithmetic instead of a checked
+        # ``block_of`` call per page.
+        fobj.block_of(offset)
+        if npages > 1:
+            fobj.block_of(offset + npages - 1)
+        base = fobj.start_block + offset
+        lookup = self.cache._by_block.get
+        touch_page = self.host.touch_page
+        note_access = self._accessed.add
+        vm = self.vm
+        costs = vm.costs
+        if op.touch_cost < 0:
+            raise GuestError(f"negative touch cost: {op.touch_cost}")
+        touch_cost = op.touch_cost
+        readahead = self.cfg.readahead_pages
+        costs_cpu = costs.cpu
+        # A guest load whose GPA is EPT-present never exits to the
+        # hypervisor -- the hardware walk sets the accessed bit and the
+        # guest carries on.  Model that directly: only non-present
+        # pages (or pages under preventer emulation, which must trap)
+        # take the ``touch_page`` slow path.
+        ept = vm.ept
+        present = ept._present
+        hw_accessed = ept._accessed
+        preventer = vm.preventer
         i = 0
-        while i < op.npages:
-            block = fobj.block_of(op.offset_pages + i)
-            gpa = self.cache.lookup(block)
+        while i < npages:
+            gpa = lookup(base + i)
             if gpa is not None:
-                self.host.touch_page(self.vm, gpa, write=False)
-                self._note_access(gpa)
-                if op.touch_cost:
-                    self.vm.costs.cpu(op.touch_cost)
+                if (gpa < ept._size and present[gpa]
+                        and (preventer is None or not preventer._emulated)):
+                    hw_accessed[gpa] = 1
+                else:
+                    touch_page(vm, gpa)
+                note_access(gpa)
+                if touch_cost:
+                    costs.cpu_seconds = costs.cpu_seconds + touch_cost
                 i += 1
                 continue
             # Miss: read ahead over the contiguous run of missing blocks.
             run_len = 1
-            limit = min(self.cfg.readahead_pages, op.npages - i)
+            limit = min(readahead, npages - i)
             while (run_len < limit
-                   and self.cache.lookup(
-                       fobj.block_of(op.offset_pages + i + run_len)) is None):
+                   and lookup(base + i + run_len) is None):
                 run_len += 1
-            transfers = []
-            for k in range(run_len):
-                blk = fobj.block_of(op.offset_pages + i + k)
-                transfers.append(
-                    Transfer(blk, self._alloc_gpa(), self._aligned()))
-            self.host.virtio_read(self.vm, transfers)
+            transfers = [
+                Transfer(base + i + k, self._alloc_gpa(), self._aligned())
+                for k in range(run_len)
+            ]
+            self.host.virtio_read(vm, transfers)
+            cache_insert = self.cache.insert
+            note_resident = self.scanner.note_resident
             for t in transfers:
-                self.cache.insert(t.block, t.gpa, dirty=False)
-                self.scanner.note_resident(t.gpa, named=True)
-                self._note_access(t.gpa)
-            if op.touch_cost:
-                self.vm.costs.cpu(op.touch_cost * run_len)
+                cache_insert(t.block, t.gpa, dirty=False)
+                note_resident(t.gpa, named=True)
+                note_access(t.gpa)
+            if touch_cost:
+                costs_cpu(touch_cost * run_len)
             i += run_len
 
     def _file_write(self, op: FileWrite) -> None:
@@ -201,9 +243,7 @@ class GuestKernel:
         self._writeback(dirty, sync=True)
 
     def _writeback_if_needed(self) -> None:
-        threshold = int(
-            self.cfg.dirty_threshold_fraction * self.cfg.memory_pages)
-        if self.cache.dirty_pages > threshold:
+        if self.cache.dirty_pages > self._dirty_threshold:
             dirty = self.cache.dirty_gpas_snapshot()
             dirty.sort(key=lambda g: self.cache.describe(g).block)
             self._writeback(dirty[: max(1, len(dirty) // 2)], sync=False)
@@ -226,31 +266,51 @@ class GuestKernel:
 
     def _touch_anon(self, op: Touch) -> None:
         region = self.anon.region(op.region)
+        pages = region.pages
+        vm = self.vm
+        costs = vm.costs
+        if op.touch_cost < 0:
+            raise GuestError(f"negative touch cost: {op.touch_cost}")
+        touch_cost = op.touch_cost
+        write = op.write
+        touch_page = self.host.touch_page
+        note_access = self._accessed.add
+        unmaterialized = PageLocation.UNMATERIALIZED
+        guest_swap = PageLocation.GUEST_SWAP
+        # Read hits on EPT-present pages stay in "hardware" (no host
+        # trap) -- see the matching fast path in ``_file_read``.
+        ept = vm.ept
+        present = ept._present
+        hw_accessed = ept._accessed
+        preventer = vm.preventer
         for index in range(op.start, op.start + op.npages, op.stride):
-            state = region.pages[index]
-            if state.location is PageLocation.UNMATERIALIZED:
+            state = pages[index]
+            location = state.location
+            if location is unmaterialized:
                 # Demand-zero allocation: a whole-page overwrite.
                 gpa = self._alloc_gpa()
-                content = AnonContent.fresh() if op.write else ZERO
+                content = AnonContent.fresh() if write else ZERO
                 self.host.overwrite_page(
-                    self.vm, gpa, content, WritePattern.FULL_SEQUENTIAL)
-                self.vm.costs.cpu(self.cfg.zero_page_cost)
+                    vm, gpa, content, WritePattern.FULL_SEQUENTIAL)
+                costs.cpu_seconds = costs.cpu_seconds + self.cfg.zero_page_cost
                 self.anon.place_in_memory(op.region, index, gpa)
                 self.scanner.note_resident(gpa, named=False)
-            elif state.location is PageLocation.GUEST_SWAP:
+            elif location is guest_swap:
                 gpa = self._guest_swap_in(op.region, index, state.where)
-                if op.write:
-                    self.host.touch_page(
-                        self.vm, gpa, write=True,
-                        new_content=AnonContent.fresh())
+                if write:
+                    touch_page(vm, gpa, True, AnonContent.fresh())
             else:
                 gpa = state.where
-                new_content = AnonContent.fresh() if op.write else None
-                self.host.touch_page(
-                    self.vm, gpa, write=op.write, new_content=new_content)
-            self._note_access(gpa)
-            if op.touch_cost:
-                self.vm.costs.cpu(op.touch_cost)
+                if write:
+                    touch_page(vm, gpa, True, AnonContent.fresh())
+                elif (gpa < ept._size and present[gpa]
+                        and (preventer is None or not preventer._emulated)):
+                    hw_accessed[gpa] = 1
+                else:
+                    touch_page(vm, gpa)
+            note_access(gpa)
+            if touch_cost:
+                costs.cpu_seconds = costs.cpu_seconds + touch_cost
 
     def _overwrite_anon(self, op: Overwrite) -> None:
         region = self.anon.region(op.region)
@@ -318,20 +378,35 @@ class GuestKernel:
         allocator's coalesce/split disorder, which is what defeats the
         host's swap readahead on those reads.
         """
-        if len(self.free_list) <= self.cfg.derived_free_min:
-            want = self.cfg.derived_free_target - len(self.free_list)
+        free_list = self.free_list
+        if len(free_list) <= self._free_min:
+            want = self._free_target - len(free_list)
             if want > 0:
                 self._guest_reclaim(want)
-        if not self.free_list:
+        if not free_list:
             self._guest_reclaim(1)
-        if not self.free_list:
+        if not free_list:
             self._oom("guest out of memory with nothing reclaimable")
-        window = min(self.cfg.allocator_window, len(self.free_list))
+        n = len(free_list)
+        window = self._alloc_window
+        if window > n:
+            window = n
         if window > 1:
-            index = len(self.free_list) - self.rng.randint(1, window)
-            self.free_list[index], self.free_list[-1] = (
-                self.free_list[-1], self.free_list[index])
-        return self.free_list.pop()
+            if self._getrandbits is not None:
+                # randint(1, w) == 1 + _randbelow(w), and _randbelow is
+                # rejection sampling over getrandbits -- replicated
+                # inline so the draw sequence is identical.
+                k = window.bit_length()
+                getrandbits = self._getrandbits
+                r = getrandbits(k)
+                while r >= window:
+                    r = getrandbits(k)
+                index = n - 1 - r
+            else:
+                index = n - self.rng.randint(1, window)
+            free_list[index], free_list[-1] = (
+                free_list[-1], free_list[index])
+        return free_list.pop()
 
     def _guest_reclaim(self, want: int) -> None:
         result = self.scanner.pick_victims(want)
@@ -342,7 +417,8 @@ class GuestKernel:
                 if descriptor.dirty:
                     self._writeback([gpa], sync=False)
                 self.cache.remove(gpa)
-                self.scanner.note_evicted(gpa)
+                # No note_evicted: pick_victims already popped the
+                # victim off its clock list.
                 self._accessed.discard(gpa)
                 self.free_list.append(gpa)
             elif self.anon.is_anon_gpa(gpa):
@@ -468,9 +544,10 @@ class GuestKernel:
         return False
 
     def _aligned(self) -> bool:
-        if self.cfg.unaligned_io_fraction <= 0:
+        fraction = self.cfg.unaligned_io_fraction
+        if fraction <= 0:
             return True
-        return not self.rng.chance(self.cfg.unaligned_io_fraction)
+        return not self.rng.chance(fraction)
 
     def _check_memory_demand(self) -> None:
         """OOM check on a demand spike (Section 2.4 over-ballooning).

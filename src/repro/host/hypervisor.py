@@ -23,12 +23,13 @@ from repro.config import HostConfig
 from repro.core.mapper import TrackState
 from repro.core.preventer import OverwriteVerdict
 from repro.disk.device import DiskDevice
+from repro.disk.image import BlockVersion
 from repro.disk.swaparea import HostSwapArea
 from repro.errors import ConsistencyError, HostError
 from repro.guest.kernel import Transfer
 from repro.mem.frames import FramePool
 from repro.mem.page import ZERO, AnonContent, PageContent
-from repro.host.vm import Vm, code_key
+from repro.host.vm import CODE_KEY, Vm, code_key
 from repro.sim.clock import Clock
 from repro.sim.ops import WritePattern
 from repro.trace.collector import NULL_TRACE
@@ -78,26 +79,39 @@ class Hypervisor:
     # guest-facing entry points (called by GuestKernel)
     # ==================================================================
 
-    def touch_page(self, vm: Vm, gpa: int, *, write: bool = False,
+    def touch_page(self, vm: Vm, gpa: int, write: bool = False,
                    new_content: PageContent | None = None,
                    context: str = "guest") -> None:
-        """A guest load or store to ``gpa``."""
-        self._poll_preventer(vm)
+        """A guest load or store to ``gpa``.
+
+        This is the hottest host entry point (every guest memory access
+        lands here), so the preventer poll and the per-structure
+        lookups are gated on non-empty state instead of paid per call.
+        """
         preventer = vm.preventer
-        if preventer is not None and preventer.is_emulated(gpa):
-            # Guest touches data the buffer does not fully cover: stop
-            # emulating, read the old content, merge (paper: suspend).
-            preventer.force_close(gpa)
-            vm.counters.preventer_merges += 1
-            self._merge_buffered_page(vm, gpa, sync=True, context=context)
-        elif not vm.ept.is_present(gpa):
-            if self._promote_swap_cache(vm, gpa):
+        if preventer is not None and preventer._emulated:
+            self._poll_preventer(vm)
+            if gpa in preventer._emulated:
+                # Guest touches data the buffer does not fully cover:
+                # stop emulating, read the old content, merge (paper:
+                # suspend).
+                preventer.force_close(gpa)
+                vm.counters.preventer_merges += 1
+                self._merge_buffered_page(vm, gpa, sync=True,
+                                          context=context)
+                vm.ept._accessed[gpa] = 1
+                if write:
+                    self._guest_store(vm, gpa, new_content)
+                return
+        ept = vm.ept
+        if gpa >= ept._size or not ept._present[gpa]:
+            if vm.swap_cache and self._promote_swap_cache(vm, gpa):
                 pass  # readahead already brought the page in
             elif gpa in vm.swap_slots or self._is_discarded(vm, gpa):
                 self._fault_in(vm, gpa, context)
             else:
                 self._map_fresh(vm, gpa, context)
-        vm.ept.mark_accessed(gpa, write=write)
+        ept._accessed[gpa] = 1
         if write:
             self._guest_store(vm, gpa, new_content)
 
@@ -109,19 +123,22 @@ class Hypervisor:
         This is the false-swap-read trigger: zeroing, COW, page
         migration (Section 3, "False Swap Reads").
         """
-        self._poll_preventer(vm)
-        if vm.ept.is_present(gpa) or self._promote_swap_cache(vm, gpa):
-            vm.ept.mark_accessed(gpa, write=True)
+        preventer = vm.preventer
+        if preventer is not None and preventer._emulated:
+            self._poll_preventer(vm)
+        ept = vm.ept
+        if ((gpa < ept._size and ept._present[gpa])
+                or (vm.swap_cache and self._promote_swap_cache(vm, gpa))):
+            ept._accessed[gpa] = 1
             self._guest_store(vm, gpa, new_content)
             return
         has_old = gpa in vm.swap_slots or self._is_discarded(vm, gpa)
         if not has_old:
             self._map_fresh(vm, gpa, context)
-            vm.ept.mark_accessed(gpa, write=True)
+            ept._accessed[gpa] = 1
             self._guest_store(vm, gpa, new_content)
             return
 
-        preventer = vm.preventer
         if preventer is not None:
             verdict = preventer.classify_overwrite(
                 gpa, pattern, self.clock.now)
@@ -134,7 +151,6 @@ class Hypervisor:
                 self._drop_old_backing(vm, gpa)
                 self._map_fresh(vm, gpa, context)
                 vm.ept.mark_accessed(gpa, write=True)
-                vm.ept.entry(gpa).dirty = True
                 vm.set_content(gpa, new_content)
                 vm.counters.preventer_remaps += 1
                 return
@@ -150,7 +166,7 @@ class Hypervisor:
         vm.counters.false_reads += 1
         if self.trace.enabled:
             self.trace.emit("fault.false_read", vm=vm.name, gpa=gpa)
-        vm.ept.mark_accessed(gpa, write=True)
+        ept._accessed[gpa] = 1
         self._guest_store(vm, gpa, new_content)
 
     def virtio_read(self, vm: Vm, transfers: list[Transfer],
@@ -161,37 +177,45 @@ class Hypervisor:
         mapper = vm.mapper
         for start in range(0, len(transfers), VIRTIO_MAX_SEGMENT_PAGES):
             chunk = transfers[start:start + VIRTIO_MAX_SEGMENT_PAGES]
-            vm.io_pinned.update(t.gpa for t in chunk)
+            gpas = [t.gpa for t in chunk]
+            vm.io_pinned.update(gpas)
             try:
                 self._virtio_read_locked(vm, chunk, mapper)
             finally:
-                vm.io_pinned.difference_update(t.gpa for t in chunk)
+                vm.io_pinned.difference_update(gpas)
         vm.refresh_gauges()
 
     def _virtio_read_locked(self, vm: Vm, transfers: list[Transfer],
                             mapper) -> None:
+        ept = vm.ept
+        preventer = vm.preventer
+        swap_slots = vm.swap_slots
         for t in transfers:
-            preventer = vm.preventer
-            if preventer is not None and preventer.is_emulated(t.gpa):
+            gpa = t.gpa
+            if (preventer is not None and preventer._emulated
+                    and gpa in preventer._emulated):
                 # DMA will overwrite the whole page: the buffer and the
                 # old content are both moot.
-                preventer.force_close(t.gpa)
-                self._drop_old_backing(vm, t.gpa)
-            if vm.ept.is_present(t.gpa) or self._promote_swap_cache(vm, t.gpa):
-                vm.ept.mark_accessed(t.gpa, write=True)
+                preventer.force_close(gpa)
+                self._drop_old_backing(vm, gpa)
+            if ((gpa < ept._size and ept._present[gpa])
+                    or (vm.swap_cache and self._promote_swap_cache(vm, gpa))):
+                ept._accessed[gpa] = 1
+                ept._dirty[gpa] = 1
                 continue
-            if t.gpa in vm.swap_slots:
+            if gpa in swap_slots:
                 # The destination frame was swapped out: the host must
                 # fault its *old* content in just to overwrite it.
-                self._fault_in(vm, t.gpa, "host", stale=True)
-            elif self._is_discarded(vm, t.gpa):
+                self._fault_in(vm, gpa, "host", stale=True)
+            elif mapper is not None and mapper.is_discarded(gpa):
                 # Mapper knows the old content is about to be replaced:
                 # drop the association, map a fresh frame, no read.
-                mapper.drop_gpa(t.gpa)
-                self._map_fresh(vm, t.gpa, "host")
+                mapper.drop_gpa(gpa)
+                self._map_fresh(vm, gpa, "host")
             else:
-                self._map_fresh(vm, t.gpa, "host")
-            vm.ept.mark_accessed(t.gpa, write=True)
+                self._map_fresh(vm, gpa, "host")
+            ept._accessed[gpa] = 1
+            ept._dirty[gpa] = 1
 
         for start, count in self._block_runs(transfers):
             stall = self.disk.read(
@@ -201,20 +225,34 @@ class Hypervisor:
             vm.counters.disk_ops += 1
             vm.counters.virtual_io_sectors += count * SECTORS_PER_PAGE
 
+        image_current = vm.image.current
+        set_content = vm.set_content
+        scanner = vm.scanner
+        # change_kind inlined: drop the key from the other list, then
+        # tail-insert on the target (pop + insert == move_to_end).
+        named_entries = scanner.named_list._entries
+        anon_entries = scanner.anon_list._entries
+        named_pop = named_entries.pop
+        anon_pop = anon_entries.pop
         for t in transfers:
-            if mapper is not None and mapper.is_tracked_resident(t.gpa):
-                mapper.drop_gpa(t.gpa)  # DMA replaced the old bytes
-            vm.set_content(t.gpa, vm.image.current(t.block))
-            entry = vm.ept.entry(t.gpa)
-            entry.dirty = False
-            self._invalidate_swap_clean(vm, t.gpa)
+            gpa = t.gpa
+            if mapper is not None and mapper.is_tracked_resident(gpa):
+                mapper.drop_gpa(gpa)  # DMA replaced the old bytes
+            set_content(gpa, image_current(t.block))
+            ept._dirty[gpa] = 0
+            if vm.swap_clean:
+                self._invalidate_swap_clean(vm, gpa)
             if mapper is not None and t.aligned and not mapper.disabled:
-                mapper.track(t.gpa, t.block)
-                vm.scanner.change_kind(t.gpa, named=True)
+                mapper.track(gpa, t.block)
+                anon_pop(gpa, None)
+                named_pop(gpa, None)
+                named_entries[gpa] = None
                 vm.costs.cpu(self.cfg.mmap_page_cost)
-                self._maybe_fault_mapper(vm, t.gpa)
+                self._maybe_fault_mapper(vm, gpa)
             else:
-                vm.scanner.change_kind(t.gpa, named=False)
+                named_pop(gpa, None)
+                anon_pop(gpa, None)
+                anon_entries[gpa] = None
 
     def virtio_write(self, vm: Vm, transfers: list[Transfer],
                      sync: bool = False) -> None:
@@ -224,36 +262,42 @@ class Hypervisor:
         mapper = vm.mapper
         for start in range(0, len(transfers), VIRTIO_MAX_SEGMENT_PAGES):
             chunk = transfers[start:start + VIRTIO_MAX_SEGMENT_PAGES]
-            vm.io_pinned.update(t.gpa for t in chunk)
+            gpas = [t.gpa for t in chunk]
+            vm.io_pinned.update(gpas)
             try:
                 self._virtio_write_locked(vm, chunk, mapper, sync)
             finally:
-                vm.io_pinned.difference_update(t.gpa for t in chunk)
+                vm.io_pinned.difference_update(gpas)
         vm.refresh_gauges()
 
     def _virtio_write_locked(self, vm: Vm, transfers: list[Transfer],
                              mapper, sync: bool) -> None:
+        ept = vm.ept
+        preventer = vm.preventer
+        swap_slots = vm.swap_slots
         for t in transfers:
+            gpa = t.gpa
             if mapper is not None:
-                self._invalidate_block_for_write(vm, t.block, t.gpa)
-            preventer = vm.preventer
-            if preventer is not None and preventer.is_emulated(t.gpa):
+                self._invalidate_block_for_write(vm, t.block, gpa)
+            if (preventer is not None and preventer._emulated
+                    and gpa in preventer._emulated):
                 # DMA must read the page: finish the emulation first.
-                preventer.force_close(t.gpa)
+                preventer.force_close(gpa)
                 vm.counters.preventer_merges += 1
-                self._merge_buffered_page(vm, t.gpa, sync=True,
+                self._merge_buffered_page(vm, gpa, sync=True,
                                           context="host")
-            elif not vm.ept.is_present(t.gpa):
-                if self._promote_swap_cache(vm, t.gpa):
+            elif gpa >= ept._size or not ept._present[gpa]:
+                if vm.swap_cache and self._promote_swap_cache(vm, gpa):
                     pass
-                elif t.gpa in vm.swap_slots or self._is_discarded(vm, t.gpa):
+                elif (gpa in swap_slots
+                      or (mapper is not None and mapper.is_discarded(gpa))):
                     # Double paging flavour: the guest writes out a page
                     # the host had already swapped out.
-                    self._fault_in(vm, t.gpa, "host")
+                    self._fault_in(vm, gpa, "host")
                     vm.counters.double_paging += 1
                 else:
-                    self._map_fresh(vm, t.gpa, "host")
-            vm.ept.mark_accessed(t.gpa)
+                    self._map_fresh(vm, gpa, "host")
+            ept._accessed[gpa] = 1
 
         for start, count in self._block_runs(transfers):
             sector = vm.image.sector_of(start)
@@ -270,17 +314,20 @@ class Hypervisor:
             vm.counters.disk_ops += 1
             vm.counters.virtual_io_sectors += nsectors
 
+        image_write = vm.image.write
+        set_content = vm.set_content
         for t in transfers:
-            new_version = vm.image.write(t.block)
+            gpa = t.gpa
             # The bytes on disk are now exactly the page's bytes.
-            vm.set_content(t.gpa, new_version)
-            vm.ept.entry(t.gpa).dirty = False
-            self._invalidate_swap_clean(vm, t.gpa)
+            set_content(gpa, image_write(t.block))
+            ept._dirty[gpa] = 0
+            if vm.swap_clean:
+                self._invalidate_swap_clean(vm, gpa)
             if mapper is not None and t.aligned and not mapper.disabled:
-                mapper.track(t.gpa, t.block)
-                vm.scanner.change_kind(t.gpa, named=True)
+                mapper.track(gpa, t.block)
+                vm.scanner.change_kind(gpa, named=True)
                 vm.costs.cpu(self.cfg.mmap_page_cost)
-                self._maybe_fault_mapper(vm, t.gpa)
+                self._maybe_fault_mapper(vm, gpa)
 
     def balloon_pin(self, vm: Vm, gpas: list[int]) -> None:
         """The guest balloon pinned ``gpas``: release their host backing."""
@@ -335,9 +382,15 @@ class Hypervisor:
             self._make_room(vm, 1, context)
             vm.ept.map_page(gpa, accessed=True, dirty=False)
             self.frames.allocate(1)
-            vm.scanner.note_resident(gpa, named=False)
-            vm.costs.cpu(self.cfg.minor_fault_cost)
-            vm.counters.bump("swap_cache_hits")
+            entries = vm.scanner.anon_list._entries
+            if gpa in entries:
+                entries.move_to_end(gpa)
+            else:
+                entries[gpa] = None
+            costs = vm.costs
+            costs.cpu_seconds = costs.cpu_seconds + self.cfg.minor_fault_cost
+            extra = vm.counters.extra
+            extra["swap_cache_hits"] = extra.get("swap_cache_hits", 0) + 1
             return
         if context == "guest":
             vm.counters.guest_context_faults += 1
@@ -356,7 +409,8 @@ class Hypervisor:
         else:
             raise HostError(
                 f"fault on {gpa:#x} with no swapped or discarded backing")
-        vm.costs.cpu(self.cfg.ept_fault_cost)
+        costs = vm.costs
+        costs.cpu_seconds = costs.cpu_seconds + self.cfg.ept_fault_cost
 
     def _swap_in(self, vm: Vm, gpa: int, context: str) -> None:
         """Read a cluster around the faulting slot (swap readahead).
@@ -365,20 +419,28 @@ class Hypervisor:
         pages this guest will touch next -- is exactly what decays as
         the swap area loses sequentiality.
         """
-        slot = vm.swap_slots[gpa]
+        swap_slots = vm.swap_slots
+        slot = swap_slots[gpa]
         cluster = self.swap_area.cluster_of(slot, self.cfg.swap_cluster_pages)
         on_disk: list[tuple[int, int]] = []   # (slot, gpa) needing a read
+        slot_owner_get = self.slot_owner.get
+        swap_clean = vm.swap_clean
+        pending_swap = vm.pending_swap
+        swap_cache = vm.swap_cache
+        faulting_readable = False
         for s in cluster:
-            owner = self.slot_owner.get(s)
+            owner = slot_owner_get(s)
             if owner is None or owner[0] is not vm:
                 continue
             g = owner[1]
-            if g not in vm.swap_slots or g in vm.swap_clean:
+            if g not in swap_slots or g in swap_clean:
                 continue
-            if g in vm.pending_swap or g in vm.swap_cache:
+            if g in pending_swap or g in swap_cache:
                 continue  # already resident in host memory
             on_disk.append((s, g))
-        if not any(s == slot for s, _ in on_disk):
+            if s == slot:
+                faulting_readable = True
+        if not faulting_readable:
             raise HostError(f"swap slot {slot} not readable")
         if self.faults is not None and self.faults.swap_slot_corrupted():
             # Checksum mismatch on the slot the guest needs: the data is
@@ -389,8 +451,9 @@ class Hypervisor:
             raise HostError(
                 f"swap slot {slot} corrupted (checksum mismatch) for "
                 f"page {gpa:#x} of VM {vm.name}")
-        first = min(s for s, _ in on_disk)
-        last = max(s for s, _ in on_disk)
+        # The cluster walk is ascending, so no min/max pass is needed.
+        first = on_disk[0][0]
+        last = on_disk[-1][0]
         nsectors = (last - first + 1) * SECTORS_PER_PAGE
         stall = self._read_swap_with_retries(
             vm, self.swap_area.sector_of(first), nsectors)
@@ -402,22 +465,25 @@ class Hypervisor:
                             pages=len(on_disk), sectors=nsectors)
 
         self._make_room(vm, len(on_disk), context)
+        self.frames.allocate(len(on_disk))
+        slot_owner = self.slot_owner
+        # note_resident(g, named=False), inlined over the anon clock
+        # list: the readahead loop adds every cluster page.
+        entries = vm.scanner.anon_list._entries
         for s, g in on_disk:
-            self.frames.allocate(1)
             if g == gpa:
                 # The page the guest actually wants: EPT-map it.  With
                 # no hardware dirty bit the host must now assume it
                 # dirty, so the slot is released (a later eviction will
                 # rewrite it -- the silent-write pessimism).
-                del vm.swap_slots[g]
-                del self.slot_owner[s]
+                del swap_slots[g]
+                del slot_owner[s]
                 vm.ept.map_page(g, accessed=True, dirty=False)
-                vm.scanner.note_resident(g, named=False)
                 if self.cfg.hardware_dirty_bit:
                     # Ablation: keep the slot; its copy stays valid
                     # until the guest really dirties the page.
-                    vm.swap_clean[g] = s
-                    self.slot_owner[s] = (vm, g)
+                    swap_clean[g] = s
+                    slot_owner[s] = (vm, g)
                 else:
                     self.swap_area.free(s)
             else:
@@ -428,8 +494,11 @@ class Hypervisor:
                 # inherits this ordering, which is how swap-layout
                 # disorder compounds across cycles (decayed swap
                 # sequentiality).
-                vm.swap_cache[g] = s
-                vm.scanner.note_resident(g, named=False)
+                swap_cache[g] = s
+            if g in entries:
+                entries.move_to_end(g)
+            else:
+                entries[g] = None
 
     def _refault_from_image(self, vm: Vm, gpa: int, context: str,
                             readahead: int | None = None) -> None:
@@ -455,7 +524,9 @@ class Hypervisor:
             region=vm.image.region.name)
         self._charge_stall(vm, stall, context)
         vm.counters.disk_ops += 1
-        vm.counters.bump("image_refault_sectors", nsectors)
+        extra = vm.counters.extra
+        extra["image_refault_sectors"] = (
+            extra.get("image_refault_sectors", 0) + nsectors)
 
         self._make_room(vm, len(targets), context)
         for b, g in targets:
@@ -479,9 +550,17 @@ class Hypervisor:
         self._make_room(vm, 1, context)
         vm.ept.map_page(gpa, accessed=True, dirty=False)
         self.frames.allocate(1)
-        vm.scanner.note_resident(gpa, named=False)
-        vm.costs.cpu(self.cfg.ept_fault_cost)
-        vm.counters.bump("minor_faults")
+        # note_resident(gpa, named=False) over the anon clock list,
+        # inlined (this is the bulk of list insertions).
+        entries = vm.scanner.anon_list._entries
+        if gpa in entries:
+            entries.move_to_end(gpa)
+        else:
+            entries[gpa] = None
+        costs = vm.costs
+        costs.cpu_seconds = costs.cpu_seconds + self.cfg.ept_fault_cost
+        extra = vm.counters.extra
+        extra["minor_faults"] = extra.get("minor_faults", 0) + 1
 
     # ==================================================================
     # reclaim
@@ -495,9 +574,15 @@ class Hypervisor:
         """
         limit = vm.resident_limit
         if limit is not None:
-            while vm.resident_pages + need > limit:
-                self._evict_batch(vm, self.cfg.reclaim_batch_pages, context)
-        while not self.frames.can_allocate(need):
+            batch = self.cfg.reclaim_batch_pages
+            ept = vm.ept
+            qemu_resident = vm.qemu.resident
+            swap_cache = vm.swap_cache
+            while (ept._resident + len(qemu_resident) + len(swap_cache)
+                   + need > limit):
+                self._evict_batch(vm, batch, context)
+        frames = self.frames
+        while frames.total_frames - frames._used < need:
             victim = self._pick_global_victim()
             self._evict_batch(victim, self.cfg.reclaim_batch_pages, context)
 
@@ -521,10 +606,20 @@ class Hypervisor:
         # The page keeps its LRU position from swap-in arrival; the
         # accessed bit gives it its second chance.  Re-adding it here
         # would reset the list to access order and erase the ordering
-        # inheritance that drives sequentiality decay.
-        vm.ept.map_page(gpa, accessed=True, dirty=False)
-        vm.costs.cpu(self.cfg.minor_fault_cost)
-        vm.counters.bump("swap_cache_promotions")
+        # inheritance that drives sequentiality decay.  The map is
+        # inlined over the bitmaps (a swap-cache page is never
+        # EPT-present, and the table covers the guest's whole GPA
+        # space): this runs once per promoted readahead page.
+        ept = vm.ept
+        ept._present[gpa] = 1
+        ept._accessed[gpa] = 1
+        ept._dirty[gpa] = 0
+        ept._resident += 1
+        costs = vm.costs
+        costs.cpu_seconds = costs.cpu_seconds + self.cfg.minor_fault_cost
+        extra = vm.counters.extra
+        extra["swap_cache_promotions"] = (
+            extra.get("swap_cache_promotions", 0) + 1)
         return True
 
     def _pick_global_victim(self) -> Vm:
@@ -536,44 +631,81 @@ class Hypervisor:
         return max(candidates, key=lambda v: v.resident_pages)
 
     def _evict_batch(self, vm: Vm, want: int, context: str) -> None:
+        """Evict one scanner batch.
+
+        This loop runs once per reclaimed page -- around 100k times per
+        figure cell -- so the EPT unmap, the frame release, and the
+        counter bumps are inlined over the bitmaps and accumulated
+        locally instead of paid as per-page method calls.  Victims come
+        off the scanner lists, which track residency exactly, so the
+        presence validation ``Ept.unmap_page`` would do is implied (and
+        still checked by the auditor under ``--paranoid``).
+        """
         result = vm.scanner.pick_victims(want)
-        vm.counters.pages_scanned += result.examined
-        if not result.victims:
+        counters = vm.counters
+        counters.pages_scanned += result.examined
+        victims = result.victims
+        if not victims:
             raise HostError(f"VM {vm.name}: no reclaimable pages")
         mapper = vm.mapper
+        is_tracked = mapper.is_tracked_resident if mapper is not None else None
+        swap_cache = vm.swap_cache
+        swap_clean = vm.swap_clean
+        hardware_dirty_bit = self.cfg.hardware_dirty_bit
+        qemu_resident = vm.qemu.resident
+        qemu_accessed = vm.qemu.accessed
+        ept = vm.ept
+        present = ept._present
+        accessed = ept._accessed
+        dirty_bits = ept._dirty
         swap_outs: list[int] = []
-        for key, _was_named in result.victims:
-            if isinstance(key, tuple):
+        take_swap_out = swap_outs.append
+        code_drops = 0
+        cache_drops = 0
+        unmapped = 0
+        discards = 0
+        for key, _was_named in victims:
+            if type(key) is tuple:
                 # Hypervisor code page: clean, file-backed -> dropped.
-                vm.qemu.evict(key[1])
-                self.frames.release(1)
-                vm.counters.host_evictions += 1
+                index = key[1]
+                qemu_resident.discard(index)
+                qemu_accessed.discard(index)
+                code_drops += 1
                 continue
             gpa = key
-            if gpa in vm.swap_cache:
+            if swap_cache.pop(gpa, None) is not None:
                 # Clean swap-cache page: drop the frame, the slot copy
                 # is still valid -- no write, no unmapping to do.
-                del vm.swap_cache[gpa]
-                self.frames.release(1)
-                vm.counters.host_evictions += 1
-                vm.counters.bump("swap_cache_drops")
+                cache_drops += 1
                 continue
-            entry = vm.ept.unmap_page(gpa)
-            self.frames.release(1)
-            vm.counters.host_evictions += 1
-            if mapper is not None and mapper.is_tracked_resident(gpa):
+            was_dirty = dirty_bits[gpa]
+            present[gpa] = 0
+            accessed[gpa] = 0
+            dirty_bits[gpa] = 0
+            unmapped += 1
+            if is_tracked is not None and is_tracked(gpa):
                 # VSwapper: the page equals its image block -- discard.
                 mapper.mark_discarded(gpa)
-                vm.counters.mapper_discards += 1
+                discards += 1
                 continue
-            if (self.cfg.hardware_dirty_bit and not entry.dirty
-                    and gpa in vm.swap_clean):
+            if hardware_dirty_bit and not was_dirty and gpa in swap_clean:
                 # Ablation: the retained swap copy is still valid.
-                slot = vm.swap_clean.pop(gpa)
+                slot = swap_clean.pop(gpa)
                 vm.swap_slots[gpa] = slot
                 continue
-            self._invalidate_swap_clean(vm, gpa)
-            swap_outs.append(gpa)
+            if swap_clean:
+                self._invalidate_swap_clean(vm, gpa)
+            take_swap_out(gpa)
+        ept._resident -= unmapped
+        evicted = code_drops + cache_drops + unmapped
+        self.frames.release(evicted)
+        counters.host_evictions += evicted
+        if discards:
+            counters.mapper_discards += discards
+        if cache_drops:
+            extra = counters.extra
+            extra["swap_cache_drops"] = (
+                extra.get("swap_cache_drops", 0) + cache_drops)
         if swap_outs:
             self._swap_out(vm, swap_outs)
         vm.refresh_gauges()
@@ -588,19 +720,33 @@ class Hypervisor:
         pages (silent swap writes).  Pages sit in the swap cache until
         the write-back batch flushes."""
         slots = self.swap_area.allocate_run(len(gpas))
+        swap_slots = vm.swap_slots
+        slot_owner = self.slot_owner
+        pending_swap = vm.pending_swap
+        content_get = vm.content.get
+        # A page is a silent swap write iff its content is a
+        # BlockVersion still matching the image -- i.e. the image holds
+        # the same version of that block.  This inlines
+        # ``image.matches(content.block, content)``: the block equality
+        # is tautological and every BlockVersion is minted in range.
+        version_get = vm.image._versions.get
+        trace_on = self.trace.enabled
+        silent_writes = 0
         for gpa, slot in zip(gpas, slots):
-            vm.swap_slots[gpa] = slot
-            self.slot_owner[slot] = (vm, gpa)
-            vm.pending_swap[gpa] = slot
-            content = vm.content_of(gpa)
-            block = getattr(content, "block", None)
-            silent = block is not None and vm.image.matches(block, content)
+            swap_slots[gpa] = slot
+            slot_owner[slot] = (vm, gpa)
+            pending_swap[gpa] = slot
+            content = content_get(gpa, ZERO)
+            silent = (type(content) is BlockVersion
+                      and content.version == version_get(content.block, 0))
             if silent:
-                vm.counters.silent_swap_writes += 1
-            if self.trace.enabled:
+                silent_writes += 1
+            if trace_on:
                 self.trace.emit("swap.out", vm=vm.name, gpa=gpa,
                                 slot=slot, silent=silent)
-        if len(vm.pending_swap) >= self.cfg.swap_writeback_batch_pages:
+        if silent_writes:
+            vm.counters.silent_swap_writes += silent_writes
+        if len(pending_swap) >= self.cfg.swap_writeback_batch_pages:
             self._flush_swap_writes(vm)
 
     def _flush_swap_writes(self, vm: Vm) -> None:
@@ -643,11 +789,14 @@ class Hypervisor:
     # ==================================================================
 
     def _touch_code(self, vm: Vm, n: int) -> None:
-        if n <= 0 or vm.qemu.code_pages == 0:
+        qemu = vm.qemu
+        if n <= 0 or qemu.code_pages == 0:
             return
-        for index in vm.qemu.next_touches(n):
-            vm.qemu.accessed.add(index)
-            if vm.qemu.is_resident(index):
+        accessed_add = qemu.accessed.add
+        resident = qemu.resident
+        for index in qemu.next_touches(n):
+            accessed_add(index)
+            if index in resident:
                 continue
             # Executable page was reclaimed: fault while host runs.
             vm.counters.host_context_faults += 1
@@ -663,7 +812,9 @@ class Hypervisor:
                 # refault is minor -- no disk read, just the fault cost.
                 cluster = [index]
                 self._make_room(vm, 1, "host")
-                vm.costs.cpu(self.cfg.minor_fault_cost)
+                costs = vm.costs
+                costs.cpu_seconds = (
+                    costs.cpu_seconds + self.cfg.minor_fault_cost)
             else:
                 cluster = vm.qemu.fault_cluster(
                     index, self.cfg.code_readahead_pages)
@@ -673,10 +824,17 @@ class Hypervisor:
                     len(cluster) * SECTORS_PER_PAGE, region="host-root")
                 vm.costs.io(stall)
                 vm.counters.disk_ops += 1
+            self.frames.allocate(len(cluster))
+            # note_resident(code_key(j), named=True), inlined over the
+            # named clock list.
+            entries = vm.scanner.named_list._entries
             for j in cluster:
-                vm.qemu.mark_resident(j)
-                self.frames.allocate(1)
-                vm.scanner.note_resident(code_key(j), named=True)
+                resident.add(j)
+                key = (CODE_KEY, j)
+                if key in entries:
+                    entries.move_to_end(key)
+                else:
+                    entries[key] = None
 
     # ==================================================================
     # preventer support
@@ -685,7 +843,7 @@ class Hypervisor:
     def _poll_preventer(self, vm: Vm) -> None:
         """Expire emulation buffers whose 1 ms window lapsed."""
         preventer = vm.preventer
-        if preventer is None:
+        if preventer is None or not preventer._emulated:
             return
         for gpa in preventer.expired(self.clock.now):
             vm.counters.preventer_merges += 1
@@ -767,9 +925,9 @@ class Hypervisor:
     def _guest_store(self, vm: Vm, gpa: int,
                      new_content: PageContent | None) -> None:
         """Bookkeeping for a CPU store to a present page."""
-        entry = vm.ept.entry(gpa)
-        entry.dirty = True
-        self._invalidate_swap_clean(vm, gpa)
+        vm.ept._dirty[gpa] = 1
+        if vm.swap_clean:
+            self._invalidate_swap_clean(vm, gpa)
         mapper = vm.mapper
         if mapper is not None and mapper.is_tracked_resident(gpa):
             # Private-mmap COW: the store severs the disk association.
@@ -777,10 +935,14 @@ class Hypervisor:
             vm.counters.mapper_cow_breaks += 1
             vm.costs.cpu(self.cfg.cow_exit_cost)
             vm.scanner.change_kind(gpa, named=False)
+        content = vm.content
         if new_content is not None:
-            vm.set_content(gpa, new_content)
-        elif not isinstance(vm.content_of(gpa), AnonContent):
-            vm.set_content(gpa, AnonContent.fresh())
+            if new_content is ZERO:
+                content.pop(gpa, None)
+            else:
+                content[gpa] = new_content
+        elif type(content.get(gpa, ZERO)) is not AnonContent:
+            content[gpa] = AnonContent.fresh()
 
     def _invalidate_block_for_write(self, vm: Vm, block: int,
                                     writer_gpa: int) -> None:

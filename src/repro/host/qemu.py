@@ -31,12 +31,19 @@ class QemuProcess:
 
     def next_touches(self, n: int) -> list[int]:
         """The next ``n`` code pages the process executes through."""
-        if self.code_pages == 0 or n <= 0:
+        code_pages = self.code_pages
+        if code_pages == 0 or n <= 0:
             return []
-        touches = []
-        for _ in range(min(n, self.code_pages)):
-            touches.append(self._cursor)
-            self._cursor = (self._cursor + 1) % self.code_pages
+        if n > code_pages:
+            n = code_pages
+        cursor = self._cursor
+        end = cursor + n
+        if end <= code_pages:
+            touches = list(range(cursor, end))
+        else:  # cursor wraps: two contiguous spans
+            touches = list(range(cursor, code_pages))
+            touches.extend(range(end - code_pages))
+        self._cursor = end % code_pages
         return touches
 
     def is_resident(self, index: int) -> bool:

@@ -6,6 +6,13 @@ into an EPT violation the host must service, and accessed bits feed the
 host reclaim clock.  Frames are fungible, so entries do not record a
 physical frame number -- the :class:`repro.mem.frames.FramePool` keeps
 conservation honest.
+
+Page state is array-backed for speed: three ``bytearray`` bitmaps
+indexed by GPA hold the present/accessed/dirty bits, so the fault and
+reclaim hot paths poke C-level byte arrays instead of allocating and
+chasing per-page entry objects.  The arrays grow *in place* (their
+identity is stable), so hot callers -- the hypervisor fault path, the
+reclaim probe -- may bind them once and index directly.
 """
 
 from __future__ import annotations
@@ -14,15 +21,26 @@ from dataclasses import dataclass
 
 from repro.errors import MemoryError_
 
+#: Initial capacity of an unsized table (tests build bare ``Ept()``s
+#: and map arbitrary GPAs); wired VMs size the table to the guest's
+#: ``memory_pages`` up front so it never grows.
+_MIN_PAGES = 64
+
 
 @dataclass
 class EptEntry:
-    """State of one present GPA mapping."""
+    """Snapshot of one present GPA mapping's bits.
+
+    The live state lives in the table's bitmaps; an ``EptEntry`` is the
+    *copy* handed out by :meth:`Ept.entry` and :meth:`Ept.unmap_page`
+    for inspection.  Mutating a snapshot does not write back -- use
+    :meth:`Ept.mark_accessed` / :meth:`Ept.set_dirty`.
+    """
 
     accessed: bool = True
     #: Host-side dirty approximation.  The paper stresses that 2013-era
     #: hardware had *no* EPT dirty bit, so baseline swap-out must assume
-    #: dirty; the entry still tracks truth so the silent-write metric
+    #: dirty; the table still tracks truth so the silent-write metric
     #: and the hardware-dirty-bit ablation can read it.
     dirty: bool = False
 
@@ -30,64 +48,100 @@ class EptEntry:
 class Ept:
     """GPA => HPA mapping for one VM (present entries only)."""
 
-    def __init__(self) -> None:
-        self._entries: dict[int, EptEntry] = {}
+    __slots__ = ("_present", "_accessed", "_dirty", "_size", "_resident")
+
+    def __init__(self, size_pages: int = 0) -> None:
+        size = size_pages if size_pages > _MIN_PAGES else _MIN_PAGES
+        self._present = bytearray(size)
+        self._accessed = bytearray(size)
+        self._dirty = bytearray(size)
+        self._size = size
+        self._resident = 0
+
+    def _ensure(self, gpa: int) -> None:
+        """Grow the bitmaps (in place) to cover ``gpa``."""
+        if gpa < 0:
+            raise MemoryError_(f"negative GPA: {gpa:#x}")
+        size = self._size
+        grown = max(gpa + 1, 2 * size) - size
+        pad = bytes(grown)
+        self._present.extend(pad)
+        self._accessed.extend(pad)
+        self._dirty.extend(pad)
+        self._size = size + grown
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._resident
 
     def __contains__(self, gpa: int) -> bool:
-        return gpa in self._entries
+        return 0 <= gpa < self._size and self._present[gpa] != 0
 
     @property
     def resident_pages(self) -> int:
         """Number of present mappings (the VM's resident set)."""
-        return len(self._entries)
+        return self._resident
 
     def map_page(self, gpa: int, *, accessed: bool = True,
                  dirty: bool = False) -> None:
         """Install a mapping for ``gpa``; it must not already be present."""
-        if gpa in self._entries:
+        if gpa < 0 or gpa >= self._size:
+            self._ensure(gpa)
+        if self._present[gpa]:
             raise MemoryError_(f"GPA {gpa:#x} already mapped")
-        self._entries[gpa] = EptEntry(accessed=accessed, dirty=dirty)
+        self._present[gpa] = 1
+        self._accessed[gpa] = 1 if accessed else 0
+        self._dirty[gpa] = 1 if dirty else 0
+        self._resident += 1
 
     def unmap_page(self, gpa: int) -> EptEntry:
         """Remove the mapping for ``gpa``, returning its final state."""
-        try:
-            return self._entries.pop(gpa)
-        except KeyError:
-            raise MemoryError_(f"GPA {gpa:#x} not mapped") from None
+        if gpa < 0 or gpa >= self._size or not self._present[gpa]:
+            raise MemoryError_(f"GPA {gpa:#x} not mapped")
+        self._present[gpa] = 0
+        self._resident -= 1
+        return EptEntry(accessed=self._accessed[gpa] != 0,
+                        dirty=self._dirty[gpa] != 0)
 
     def entry(self, gpa: int) -> EptEntry:
-        """The entry for a present ``gpa``."""
-        try:
-            return self._entries[gpa]
-        except KeyError:
-            raise MemoryError_(f"GPA {gpa:#x} not mapped") from None
+        """Snapshot of the bits of a present ``gpa``."""
+        if gpa < 0 or gpa >= self._size or not self._present[gpa]:
+            raise MemoryError_(f"GPA {gpa:#x} not mapped")
+        return EptEntry(accessed=self._accessed[gpa] != 0,
+                        dirty=self._dirty[gpa] != 0)
 
     def is_present(self, gpa: int) -> bool:
         """Whether a guest access to ``gpa`` would hit without a fault."""
-        return gpa in self._entries
+        return 0 <= gpa < self._size and self._present[gpa] != 0
 
     def mark_accessed(self, gpa: int, *, write: bool = False) -> None:
         """Set the accessed (and optionally dirty) bit of a present entry."""
-        entry = self.entry(gpa)
-        entry.accessed = True
+        if gpa < 0 or gpa >= self._size or not self._present[gpa]:
+            raise MemoryError_(f"GPA {gpa:#x} not mapped")
+        self._accessed[gpa] = 1
         if write:
-            entry.dirty = True
+            self._dirty[gpa] = 1
+
+    def set_dirty(self, gpa: int, dirty: bool = True) -> None:
+        """Set or clear the dirty bit of a present entry."""
+        if gpa < 0 or gpa >= self._size or not self._present[gpa]:
+            raise MemoryError_(f"GPA {gpa:#x} not mapped")
+        self._dirty[gpa] = 1 if dirty else 0
 
     def test_and_clear_accessed(self, gpa: int) -> bool:
         """Read and clear the accessed bit (the reclaim clock's probe)."""
-        entry = self.entry(gpa)
-        was = entry.accessed
-        entry.accessed = False
-        return was
+        if gpa < 0 or gpa >= self._size or not self._present[gpa]:
+            raise MemoryError_(f"GPA {gpa:#x} not mapped")
+        was = self._accessed[gpa]
+        self._accessed[gpa] = 0
+        return was != 0
 
     def present_gpas(self) -> list[int]:
-        """Snapshot of all present GPAs (test/debug helper)."""
-        return list(self._entries)
+        """Snapshot of all present GPAs, ascending (test/debug helper)."""
+        present = self._present
+        return [gpa for gpa in range(self._size) if present[gpa]]
 
     def iter_present(self):
-        """Iterate present GPAs without copying (the invariant auditor
-        walks every VM's EPT on each full audit)."""
-        return iter(self._entries)
+        """Iterate present GPAs (ascending) without copying (the
+        invariant auditor walks every VM's EPT on each full audit)."""
+        present = self._present
+        return (gpa for gpa in range(self._size) if present[gpa])

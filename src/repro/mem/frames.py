@@ -13,6 +13,8 @@ from repro.errors import MemoryError_
 class FramePool:
     """Counting allocator for host physical page frames."""
 
+    __slots__ = ("total_frames", "_used")
+
     def __init__(self, total_frames: int) -> None:
         if total_frames <= 0:
             raise MemoryError_(f"pool needs at least one frame: {total_frames}")
@@ -35,12 +37,13 @@ class FramePool:
         Callers (the hypervisor) must free up frames via reclaim first;
         failing to do so is a simulation bug, not a recoverable state.
         """
+        used = self._used + n
         if n < 0:
             raise MemoryError_(f"negative allocation: {n}")
-        if self._used + n > self.total_frames:
+        if used > self.total_frames:
             raise MemoryError_(
                 f"frame pool exhausted: want {n}, free {self.free}")
-        self._used += n
+        self._used = used
 
     def release(self, n: int = 1) -> None:
         """Return ``n`` frames to the pool."""
@@ -53,7 +56,7 @@ class FramePool:
 
     def can_allocate(self, n: int) -> bool:
         """Whether ``n`` frames are currently available."""
-        return self.free >= n
+        return self.total_frames - self._used >= n
 
     def audit_error(self) -> str | None:
         """Conservation self-check for the invariant auditor.

@@ -79,16 +79,20 @@ class ClockList:
         mirroring reclaim priority escalation) and returns what it has.
         """
         victims: list[Hashable] = []
+        entries = self._entries
+        take = victims.append
+        pop_head = entries.popitem
+        set_tail = entries.__setitem__
         examined = 0
         if max_examined is None:
-            max_examined = 2 * len(self._entries)
-        while len(victims) < want and self._entries and examined < max_examined:
-            key, _ = self._entries.popitem(last=False)
+            max_examined = 2 * len(entries)
+        while len(victims) < want and entries and examined < max_examined:
+            key, _ = pop_head(last=False)
             examined += 1
             if referenced(key):
-                self._entries[key] = None  # second chance: rotate to tail
+                set_tail(key, None)  # second chance: rotate to tail
             else:
-                victims.append(key)
+                take(key)
         return victims, examined
 
     def keys_in_order(self) -> list[Hashable]:

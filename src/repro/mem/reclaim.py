@@ -44,6 +44,8 @@ class ReclaimScanner:
         unevictable: Callable[[Hashable], bool] | None = None,
         noise: float = 0.0,
         noise_rng=None,
+        probe: Callable[[Hashable], bool] | None = None,
+        scan: Callable[[ClockList, int], tuple[list, int]] | None = None,
     ) -> None:
         if not 0.0 <= named_fraction <= 1.0:
             raise MemoryError_(
@@ -59,24 +61,67 @@ class ReclaimScanner:
         self._referenced_raw = referenced
         self._noise = noise
         self._noise_rng = noise_rng
+        #: ``probe`` is an optional caller-fused referenced predicate
+        #: that already implements the unevictable -> noise -> raw layer
+        #: order (one closure, no chained calls).  It runs once per
+        #: clock-hand examination, so hosts that can flatten the layers
+        #: into a single function (see ``Vm._build_scan_probe``) shave
+        #: two Python frames off every examination.  It must consume
+        #: exactly the same RNG draws as the composed equivalent.
+        self._referenced = probe if probe is not None \
+            else self._compose_probe(unevictable)
+        #: Optional caller-fused scan loop: ``scan(clock_list, want)``
+        #: must behave exactly like ``clock_list.scan(want, probe)``
+        #: but with the probe body inlined into the loop, so an
+        #: examination costs no Python frame at all (see
+        #: ``Vm._build_scan_fused``).  The escalation pass still goes
+        #: through ``ClockList.scan`` with the unevictable predicate.
+        self._scan = scan
         #: Trace collector plus the VM name scans are attributed to;
         #: wired by the machine for host-side scanners under ``--trace``.
         self.trace = NULL_TRACE
         self.trace_vm: str | None = None
 
-    def _referenced(self, key: Hashable) -> bool:
-        """Referenced probe with DMA protection and sampling noise.
+    def _compose_probe(self, unevictable) -> Callable[[Hashable], bool]:
+        """Build the referenced probe with DMA protection and noise.
 
         Pages pinned for in-flight DMA are treated as permanently
         referenced.  The noise term randomly grants extra rotations,
         modelling the disorder of real referenced-bit sampling -- the
         seed of decayed swap sequentiality (see HostConfig.reclaim_noise).
+
+        The probe runs once per examined key, so the layers the caller
+        did not ask for (no pin predicate, zero noise) are compiled out
+        here instead of branched over per call.  Layer order is fixed:
+        unevictable, then noise (one RNG draw, same sequence as
+        ``noise_rng.chance``), then the real referenced bit.
         """
-        if self._unevictable(key):
-            return True
-        if self._noise and self._noise_rng.chance(self._noise):
-            return True
-        return self._referenced_raw(key)
+        raw = self._referenced_raw
+        noise = self._noise
+        if noise > 0.0:
+            inner = getattr(self._noise_rng, "_random", None)
+            if inner is not None:
+                rand = inner.random
+            else:  # non-standard rng double: fall back to its public API
+                chance = self._noise_rng.chance
+
+                def rand() -> float:
+                    return 0.0 if chance(noise) else 1.0
+
+            if unevictable is None:
+                def probe(key: Hashable) -> bool:
+                    return True if rand() < noise else raw(key)
+            else:
+                def probe(key: Hashable) -> bool:
+                    if unevictable(key):
+                        return True
+                    return True if rand() < noise else raw(key)
+        elif unevictable is None:
+            probe = raw
+        else:
+            def probe(key: Hashable) -> bool:
+                return True if unevictable(key) else raw(key)
+        return probe
 
     # -- membership maintenance --------------------------------------------
 
@@ -130,27 +175,36 @@ class ReclaimScanner:
             1, int(round(want * self.named_fraction)))
         from_named = min(from_named, want)
 
-        named_victims, examined = self.named_list.scan(
-            min(from_named, len(self.named_list)), self._referenced)
+        victims = result.victims
+        scan = self._scan
+        if scan is not None:
+            named_victims, examined = scan(
+                self.named_list, min(from_named, len(self.named_list)))
+        else:
+            named_victims, examined = self.named_list.scan(
+                min(from_named, len(self.named_list)), self._referenced)
         result.examined += examined
-        result.victims.extend((key, True) for key in named_victims)
+        victims += [(key, True) for key in named_victims]
 
-        remaining = want - len(result.victims)
+        remaining = want - len(victims)
         if remaining > 0 and len(self.anon_list):
-            anon_victims, examined = self.anon_list.scan(
-                remaining, self._referenced)
+            if scan is not None:
+                anon_victims, examined = scan(self.anon_list, remaining)
+            else:
+                anon_victims, examined = self.anon_list.scan(
+                    remaining, self._referenced)
             result.examined += examined
-            result.victims.extend((key, False) for key in anon_victims)
+            victims += [(key, False) for key in anon_victims]
 
         # Shortfall: escalate back to the named list without the
         # second-chance courtesy (reclaim priority escalation).  Only
         # unevictable (DMA-pinned) pages keep their protection.
-        remaining = want - len(result.victims)
+        remaining = want - len(victims)
         if remaining > 0 and len(self.named_list):
             forced, examined = self.named_list.scan(
                 remaining, self._unevictable)
             result.examined += examined
-            result.victims.extend((key, True) for key in forced)
+            victims += [(key, True) for key in forced]
         if self.trace.enabled:
             self.trace.emit(
                 "reclaim.scan", vm=self.trace_vm,

@@ -1,0 +1,114 @@
+"""Per-cell profiling (the ``repro run --profile`` flag).
+
+Performance work on the simulator is only as good as its visibility:
+the hot-path rewrite that produced DESIGN.md section 12 was steered
+entirely by per-cell call-count censuses, and future perf PRs need the
+same lever without reconstructing the harness by hand.  ``--profile``
+wraps every cell runner in :mod:`cProfile` and persists a three-view
+hot-function report (cumulative time, internal time, call counts)
+named exactly like the cell's store record, so a profile can always be
+matched to the result it explains.
+
+Like the fault layer's default config and the audit layer's paranoid
+flag, the profile destination is ambient process state: the CLI sets
+it once and :func:`~repro.exec.executor.execute_cell` checks it per
+cell.  The executors carry it across the process boundary explicitly
+(pool initargs / supervised-worker args), exactly as they do for the
+paranoid and tracing flags, so ``--profile --jobs N`` profiles every
+worker.
+
+Profiling is observational only: the runner, its RNG draws, and the
+returned :class:`~repro.experiments.runner.RunResult` are untouched,
+so profiled results stay bit-identical to unprofiled ones (cProfile
+adds wall time, which only ever appears outside the result payload).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+#: Process-wide profile output directory (``None`` = profiling off).
+_PROFILE_DIR: str | None = None
+
+#: Hot functions listed under each sort order of the report.
+REPORT_LINES = 30
+
+
+def set_profiling(directory: str | Path | None) -> str | None:
+    """Set the process-wide profile directory; returns the previous
+    value (``None`` disables profiling)."""
+    global _PROFILE_DIR
+    previous = _PROFILE_DIR
+    _PROFILE_DIR = None if directory is None else str(directory)
+    return previous
+
+
+def profiling_dir() -> str | None:
+    """Where cell profiles are written, or ``None`` when off."""
+    return _PROFILE_DIR
+
+
+def profile_report_path(spec) -> Path:
+    """Where ``spec``'s profile report lands.
+
+    Mirrors :meth:`ResultStore.cell_path` naming --
+    ``<dir>/<experiment>/<cell-id>-<hash12>.txt`` with the same
+    content-hash suffix -- so the profile sits beside (and keys to)
+    the cell record it explains.
+    """
+    from repro.exec.store import _sanitize, cell_key
+
+    if _PROFILE_DIR is None:
+        raise RuntimeError("profiling is not enabled")
+    return (Path(_PROFILE_DIR) / _sanitize(spec.experiment_id)
+            / f"{_sanitize(spec.cell_id)}-{cell_key(spec)[:12]}.txt")
+
+
+def render_report(profile: cProfile.Profile, spec) -> str:
+    """The persisted report: one header, three sorted views.
+
+    Cumulative time finds the expensive subsystems, internal time the
+    expensive functions, and call counts the fusion opportunities (a
+    million cheap calls cost more than their bodies -- see DESIGN.md
+    section 12's methodology notes).
+    """
+    buffer = io.StringIO()
+    buffer.write(
+        f"profile: experiment={spec.experiment_id} cell={spec.cell_id} "
+        f"seed={spec.seed}\n")
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(REPORT_LINES)
+    buffer.write("-- by internal time --\n")
+    stats.sort_stats("tottime").print_stats(REPORT_LINES)
+    buffer.write("-- by call count --\n")
+    stats.sort_stats("ncalls").print_stats(REPORT_LINES)
+    return buffer.getvalue()
+
+
+def profile_runner(runner, spec):
+    """Run ``runner(spec)`` under cProfile, persist the report, and
+    return the runner's result unchanged.
+
+    A report that fails to write (read-only directory, disk full) is
+    a harness inconvenience, not a cell failure: the exception
+    propagates only after the cell's result exists, and executors
+    treat it like any other harness error.
+    """
+    profile = cProfile.Profile()
+    result = profile.runcall(runner, spec)
+    path = profile_report_path(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_report(profile, spec))
+    return result
+
+
+__all__ = [
+    "profile_report_path",
+    "profile_runner",
+    "profiling_dir",
+    "render_report",
+    "set_profiling",
+]

@@ -24,6 +24,8 @@ class CostAccumulator:
     operation's disk high-water mark.
     """
 
+    __slots__ = ("cpu_seconds", "io_seconds", "fault_seconds", "_disk_mark")
+
     def __init__(self) -> None:
         self.cpu_seconds = 0.0
         self.io_seconds = 0.0
@@ -39,11 +41,13 @@ class CostAccumulator:
 
     def cpu(self, seconds: float) -> None:
         """Charge CPU time."""
-        self._check(seconds)
+        if seconds < 0:
+            raise SimulationError(f"negative cost: {seconds}")
         self.cpu_seconds += seconds
 
     def _disk_increment(self, stall: float) -> float:
-        self._check(stall)
+        if stall < 0:
+            raise SimulationError(f"negative cost: {stall}")
         increment = stall - self._disk_mark
         if increment <= 0:
             return 0.0
@@ -57,11 +61,6 @@ class CostAccumulator:
     def fault(self, stall: float) -> None:
         """Charge a host page-fault stall (incremental)."""
         self.fault_seconds += self._disk_increment(stall)
-
-    @staticmethod
-    def _check(seconds: float) -> None:
-        if seconds < 0:
-            raise SimulationError(f"negative cost: {seconds}")
 
     def duration(self, fault_overlap: float = 1.0) -> float:
         """Operation duration with fault stalls scaled by ``fault_overlap``.

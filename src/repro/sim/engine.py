@@ -12,8 +12,8 @@ guests queueing on one disk, Figure 14).
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush, nsmallest
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
@@ -56,8 +56,8 @@ class Engine:
         """Run ``callback`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        at = self.clock.now + delay
-        heapq.heappush(self._heap, (at, next(self._sequence), callback))
+        heappush(self._heap,
+                 (self.clock._now + delay, next(self._sequence), callback))
 
     def schedule_at(self, at: float, callback: Callback) -> None:
         """Run ``callback`` at absolute virtual time ``at``."""
@@ -65,7 +65,7 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule in the past: {at} < {self.clock.now}"
             )
-        heapq.heappush(self._heap, (at, next(self._sequence), callback))
+        heappush(self._heap, (at, next(self._sequence), callback))
 
     def add_process(self, step: Callable[[], Optional[float]],
                     start_delay: float = 0.0) -> None:
@@ -118,30 +118,46 @@ class Engine:
 
         Returns the final virtual time.
         """
-        while self._heap and not self._stopped:
-            at, _seq, callback = self._heap[0]
+        heap = self._heap
+        clock = self.clock
+        max_vt = self.max_virtual_time
+        max_events = self.max_events
+        while heap and not self._stopped:
+            at = heap[0][0]
             if until is not None and at > until:
-                self.clock.advance_to(until)
+                clock.advance_to(until)
                 break
-            if (self.max_virtual_time is not None
-                    and at > self.max_virtual_time):
+            if max_vt is not None and at > max_vt:
                 if self.trace.enabled:
                     self.trace.emit("engine.watchdog", limit="virtual-time")
                 raise SimulationError(
                     f"watchdog: virtual time {at:.3f}s exceeds limit "
-                    f"{self.max_virtual_time:.3f}s; {self._dump_pending()}")
-            if (self.max_events is not None
-                    and self.events_dispatched >= self.max_events):
+                    f"{max_vt:.3f}s; {self._dump_pending()}")
+            if (max_events is not None
+                    and self.events_dispatched >= max_events):
                 if self.trace.enabled:
                     self.trace.emit("engine.watchdog", limit="events")
                 raise SimulationError(
                     f"watchdog: dispatched {self.events_dispatched} events "
-                    f"(limit {self.max_events}); {self._dump_pending()}")
-            heapq.heappop(self._heap)
-            self.clock.advance_to(at)
-            self.events_dispatched += 1
-            callback()
-        return self.clock.now
+                    f"(limit {max_events}); {self._dump_pending()}")
+            # Heap pops are nondecreasing in `at` and the schedule
+            # guards refuse past events, so this direct store is the
+            # monotonic advance Clock.advance_to would have validated.
+            clock._now = at
+            # Batched dispatch: drain every event stamped `at` without
+            # re-running the until/virtual-time guards -- both depend
+            # only on `at`, which cannot change within the batch.  The
+            # event-count guard and stop() still apply per event, so
+            # tripping either hands control back to the outer loop.
+            while True:
+                self.events_dispatched += 1
+                heappop(heap)[2]()
+                if not heap or heap[0][0] != at or self._stopped:
+                    break
+                if (max_events is not None
+                        and self.events_dispatched >= max_events):
+                    break
+        return clock._now
 
     def pending_events(self) -> int:
         """Number of events still queued (useful in tests)."""
@@ -158,7 +174,7 @@ class Engine:
 
     def _dump_pending(self, limit: int = 8) -> str:
         """Diagnostic summary of the earliest pending events."""
-        head = heapq.nsmallest(limit, self._heap)
+        head = nsmallest(limit, self._heap)
         lines = ", ".join(
             f"t={at:.6f} {getattr(cb, '__qualname__', repr(cb))}"
             for at, _seq, cb in head)
