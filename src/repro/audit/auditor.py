@@ -22,6 +22,7 @@ untrustworthy.
 
 from __future__ import annotations
 
+import contextlib
 from typing import TYPE_CHECKING
 
 from repro.core.mapper import TrackState
@@ -54,13 +55,32 @@ class InvariantAuditor:
         self.audits = 0
         #: Cheap per-hook checks performed.
         self.quick_checks = 0
+        self._suspensions = 0
 
     # ------------------------------------------------------------------
     # hooks
     # ------------------------------------------------------------------
 
+    @contextlib.contextmanager
+    def suspended(self):
+        """Silence the hooks across a multi-step state transition.
+
+        A migration/evacuation rebuild maps the carried set back one
+        page at a time; reclaim triggered partway through would audit a
+        VM that is inconsistent *by construction* (mapper associations
+        still RESIDENT, EPT not yet rebuilt).  The caller re-checks
+        explicitly once the transition commits.
+        """
+        self._suspensions += 1
+        try:
+            yield
+        finally:
+            self._suspensions -= 1
+
     def on_reclaim(self, vm: "Vm") -> None:
         """End of one eviction batch: quick checks, sampled full walk."""
+        if self._suspensions:
+            return
         self._quick(f"reclaim:{vm.name}")
         self._reclaims_seen += 1
         if self._reclaims_seen % self.reclaim_stride == 0:
@@ -68,6 +88,8 @@ class InvariantAuditor:
 
     def on_phase(self, name: str) -> None:
         """A workload phase boundary: always the full walk."""
+        if self._suspensions:
+            return
         self.check(f"phase:{name}")
 
     # ------------------------------------------------------------------

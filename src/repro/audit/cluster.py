@@ -4,9 +4,11 @@ Each :class:`~repro.cluster.host.Host` already runs its own
 :class:`~repro.audit.auditor.InvariantAuditor` (frame conservation,
 swap-slot ownership, mapper bijection) under ``--paranoid``.  This
 auditor checks the properties only the *cluster* can violate: every
-VM it ever placed lives on exactly one host (no VM lost, no double
-placement), host rosters agree with their hypervisors', and ownership
-backrefs survive migration.
+VM it ever placed is in exactly one of three states -- held by a live
+host, in flight with the evacuation controller, or recorded lost (no
+silent drops, no double placement); FAILED hosts hold nothing; host
+rosters agree with their hypervisors'; and ownership backrefs survive
+migration and evacuation.
 """
 
 from __future__ import annotations
@@ -20,7 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class ClusterInvariantAuditor:
-    """Re-checks cross-host invariants at placement/migration points."""
+    """Re-checks cross-host invariants at placement/migration/failure
+    points."""
 
     def __init__(self, cluster: "Cluster") -> None:
         self.cluster = cluster
@@ -33,6 +36,9 @@ class ClusterInvariantAuditor:
         cluster = self.cluster
         seen: dict[int, str] = {}
         for host in cluster.hosts:
+            if not host.alive and host.vms:
+                self._fail(where, f"FAILED host {host.name} still holds "
+                                  f"{len(host.vms)} VM(s)")
             if list(host.vms) != list(host.hypervisor.vms):
                 self._fail(where, f"host {host.name}: host roster and "
                                   f"hypervisor roster disagree")
@@ -46,13 +52,23 @@ class ClusterInvariantAuditor:
                     owner = getattr(vm.host, "name", vm.host)
                     self._fail(where, f"VM {vm.name} sits on {host.name} "
                                       f"but believes it lives on {owner!r}")
+        # Evacuation conservation: placed XOR in-flight XOR lost.
+        evacuating = set(cluster.evac.active)
         for vm in cluster.vms:
-            if vm.vm_id not in seen:
-                self._fail(where, f"VM {vm.name} (id {vm.vm_id}) was "
-                                  f"placed but no host holds it")
-        if len(seen) != len(cluster.vms):
-            self._fail(where, f"hosts hold {len(seen)} VMs, cluster "
-                              f"placed {len(cluster.vms)}")
+            states = [name for name, holds in (
+                ("placed", vm.vm_id in seen),
+                ("evacuating", vm.vm_id in evacuating),
+                ("lost", vm.lost),
+            ) if holds]
+            if len(states) != 1:
+                self._fail(where, f"VM {vm.name} (id {vm.vm_id}) must be "
+                                  f"in exactly one of placed/evacuating/"
+                                  f"lost; is in {states or ['none']}")
+        accounted = len(seen) + len(evacuating) + len(cluster.lost)
+        if accounted != len(cluster.vms):
+            self._fail(where, f"hosts hold {len(seen)}, evacuation holds "
+                              f"{len(evacuating)}, lost {len(cluster.lost)}"
+                              f"; cluster placed {len(cluster.vms)}")
         for host in cluster.hosts:
             committed = sum(vm.cfg.guest.memory_pages for vm in host.vms)
             if committed != host.committed_guest_pages:

@@ -93,6 +93,27 @@ def _rate(text: str) -> float:
     return value
 
 
+def _validate_host_fault_rate(rate: float | None) -> None:
+    """The one authoritative ``--host-faults`` check (typed, like
+    ``_validate_jobs``): a crash rate of zero or less arms nothing and
+    is a misconfiguration, not a no-op."""
+    if rate is None:
+        return
+    if not 0.0 < rate <= 1.0:
+        raise ConfigError(
+            f"--host-faults must be a rate in (0, 1], got {rate}")
+
+
+def _validate_evac_deadline(deadline: float | None) -> None:
+    """The one authoritative ``--evac-deadline`` check: a non-positive
+    deadline would lose every evacuated VM at its first attempt."""
+    if deadline is None:
+        return
+    if deadline <= 0:
+        raise ConfigError(
+            f"--evac-deadline must be positive, got {deadline}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -145,6 +166,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--kill-workers", type=_rate, default=0.0, metavar="RATE",
         help="chaos: deterministically kill this fraction of first "
              "worker attempts mid-cell to exercise crash recovery")
+    run.add_argument(
+        "--host-faults", type=float, default=None, metavar="RATE",
+        help="chaos: seeded per-host crash probability for cluster "
+             "experiments; crashed hosts' VMs evacuate (with retry/"
+             "backoff) or surface as typed VmLost holes")
+    run.add_argument(
+        "--host-faults-seed", type=int, default=1, metavar="N",
+        help="seed of the host-fault schedule (default: 1); the same "
+             "seed replays the same crash/evacuation sequence")
+    run.add_argument(
+        "--evac-deadline", type=float, default=None, metavar="SECONDS",
+        help="virtual-time budget to re-home each VM of a crashed host "
+             "before it is recorded lost (default: 60)")
     run.add_argument(
         "--paranoid", action="store_true",
         help="run the invariant auditor inside every simulation "
@@ -293,6 +327,8 @@ def _run_command(args: argparse.Namespace) -> int:
     from repro.profiling import set_profiling
     from repro.trace import set_tracing
 
+    _validate_host_fault_rate(args.host_faults)
+    _validate_evac_deadline(args.evac_deadline)
     if args.resume and not args.results_dir:
         raise ConfigError(
             "--resume requires --results-dir (there is no store to "
@@ -318,12 +354,18 @@ def _run_command(args: argparse.Namespace) -> int:
                              retries=args.retries,
                              supervise=args.kill_workers > 0)
 
-    if args.faults or args.kill_workers:
+    if (args.faults or args.kill_workers or args.host_faults is not None
+            or args.evac_deadline is not None):
         # The ambient plan is captured into every cell spec the sweeps
         # build, so worker processes and cache keys both see it.
         plan = FaultConfig.chaos() if args.faults else FaultConfig()
         plan = replace(plan, enabled=True,
                        worker_kill_rate=args.kill_workers)
+        if args.host_faults is not None:
+            plan = replace(plan, host_crash_rate=args.host_faults,
+                           host_fault_seed=args.host_faults_seed)
+        if args.evac_deadline is not None:
+            plan = replace(plan, evac_deadline=args.evac_deadline)
         set_default_fault_config(plan)
     if args.paranoid:
         set_paranoid(True)

@@ -25,6 +25,7 @@ from typing import Iterable, Sequence
 
 from repro.audit import ClusterInvariantAuditor, paranoid_enabled
 from repro.config import ClusterConfig, VmConfig
+from repro.core.migration import MigrationPlanner
 from repro.faults.plan import FaultPlan, default_fault_config
 from repro.host.vm import Vm
 from repro.sim.engine import Engine
@@ -36,9 +37,19 @@ from repro.trace.collector import (
     TraceCollector,
 )
 
-from repro.cluster.host import Host
-from repro.cluster.migrate import MigrationRecord, migrate_vm
+from repro.cluster.host import Host, HostState
+from repro.cluster.migrate import (
+    MigrationRecord,
+    carried_state,
+    migrate_vm,
+    teardown_vm_on_host,
+)
 from repro.cluster.placement import choose_host
+from repro.cluster.recovery import (
+    EvacuationController,
+    EvacuationPolicy,
+    VmLost,
+)
 
 
 class Cluster:
@@ -95,6 +106,13 @@ class Cluster:
         self.migrations: list[MigrationRecord] = []
         self._region_seq = 0
 
+        #: VMs recovery could not re-home (typed figure holes), in
+        #: loss order.
+        self.lost: list[VmLost] = []
+        #: Host-failure recovery; idle (and free) unless a host fails.
+        self.evac = EvacuationController(
+            self, EvacuationPolicy.from_fault_config(fault_cfg))
+
         #: Cross-host invariant auditor; --paranoid only.
         self.auditor: ClusterInvariantAuditor | None = (
             ClusterInvariantAuditor(self) if paranoid_enabled() else None)
@@ -102,6 +120,8 @@ class Cluster:
         if config.migration.enabled:
             self.engine.add_periodic(
                 config.migration.check_interval, self.pressure_tick)
+        if self.faults is not None:
+            self._schedule_host_faults()
 
     # ------------------------------------------------------------------
     # clock and rollups
@@ -161,6 +181,8 @@ class Cluster:
         """
         done: list[MigrationRecord] = []
         for src in self.hosts:
+            if not src.alive:
+                continue
             while src.over_pressure:
                 vm = self._pick_migration_victim(src)
                 if vm is None:
@@ -168,20 +190,30 @@ class Cluster:
                 dst = self._pick_destination(vm, src)
                 if dst is None:
                     break
-                done.append(self.migrate(vm, dst))
+                record = self.migrate(vm, dst)
+                done.append(record)
+                if record.outcome != "completed":
+                    # The copy rolled back: the VM stayed put, so
+                    # retrying this tick would spin.  Next tick retries.
+                    break
         return done
 
     def migrate(self, vm: Vm, dst: Host) -> MigrationRecord:
-        """Evacuate ``vm`` to ``dst`` and log the move."""
+        """Evacuate ``vm`` to ``dst`` and log the move (or rollback)."""
         src = vm.host
         self._region_seq += 1
+        fail_point = (self.faults.migration_fail_point(
+                          vm.name, self._region_seq)
+                      if self.faults is not None else None)
         record = migrate_vm(
             vm, src, dst,
             bandwidth_bytes_per_sec=(
                 self.cfg.migration.bandwidth_bytes_per_sec),
             region_name=f"image-{vm.name}@m{self._region_seq}",
-            trace=self.trace)
+            trace=self.trace, fail_point=fail_point)
         self.migrations.append(record)
+        if record.outcome != "completed" and self.faults is not None:
+            self.faults.counters.bump("migration_rollbacks")
         if self.auditor is not None:
             self.auditor.check(f"migrate:{vm.name}")
         return record
@@ -209,3 +241,84 @@ class Cluster:
                    key=lambda host: (host.swap_pressure,
                                      host.committed_fraction,
                                      host.host_id))
+
+    # ------------------------------------------------------------------
+    # host faults: crash, degradation, evacuation
+    # ------------------------------------------------------------------
+
+    def _schedule_host_faults(self) -> None:
+        """Arm the fault plan's host schedule on the engine.
+
+        Crash and degradation times come from fresh forks of the plan's
+        ``host_fault_seed`` (never the simulation streams), so hosts the
+        schedule leaves alone run bit-identically to an uninjected
+        cluster -- arming costs nothing but these engine events.
+        """
+        plan = self.faults
+        for host in self.hosts:
+            window = plan.host_degrade_window(host.name)
+            if window is not None:
+                start, duration, factor = window
+                self.engine.schedule_at(
+                    start,
+                    lambda h=host, f=factor: self._degrade_host(h, f))
+                self.engine.schedule_at(
+                    start + duration,
+                    lambda h=host: self._recover_host(h))
+            crash = plan.host_crash_time(host.name)
+            if crash is not None:
+                self.engine.schedule_at(
+                    crash, lambda h=host: self._fail_host(h))
+
+    def _degrade_host(self, host: Host, factor: float) -> None:
+        """Enter a transient degradation window (slow disk, still UP
+        for admission); no-op if the host already failed."""
+        if host.state is not HostState.UP:
+            return
+        host.degrade(factor)
+        if self.faults is not None:
+            self.faults.counters.bump("host_degrades")
+        if self.trace.enabled:
+            self.trace.emit("host.degrade", host=host.name, factor=factor)
+
+    def _recover_host(self, host: Host) -> None:
+        """Close the degradation window (no-op unless DEGRADED --
+        a crash inside the window wins)."""
+        if host.state is not HostState.DEGRADED:
+            return
+        host.recover()
+        if self.trace.enabled:
+            self.trace.emit("host.recover", host=host.name)
+
+    def _fail_host(self, host: Host) -> None:
+        """Hard-crash ``host``: strip its VMs and hand each to the
+        evacuation controller.
+
+        The host's memory and swap die with it, so there is nothing to
+        copy *from*: each victim's carried set (logical page contents,
+        surviving Mapper associations) is captured first, its restore
+        traffic priced, and then every host-side resource is torn down
+        before recovery begins re-homing the VM elsewhere.
+        """
+        if not host.alive:
+            return
+        src_pressure = host.swap_pressure
+        victims = list(host.vms)
+        host.fail()
+        if self.faults is not None:
+            self.faults.counters.bump("host_crashes")
+        if self.trace.enabled:
+            self.trace.emit("host.fail", host=host.name,
+                            vms=len(victims))
+        for vm in victims:
+            plan = MigrationPlanner().plan(vm)
+            transferred = (plan.vswapper_bytes if vm.mapper is not None
+                           else plan.baseline_bytes)
+            carried, tracked, _buffered = carried_state(vm)
+            teardown_vm_on_host(vm, host, carried=carried)
+            vm.host = None
+            self.evac.begin(
+                vm, host.name, carried=carried, tracked=tracked,
+                transferred_bytes=transferred, src_pressure=src_pressure)
+        if self.auditor is not None:
+            self.auditor.check(f"host-fail:{host.name}")

@@ -17,6 +17,8 @@ migration controller acts on.
 
 from __future__ import annotations
 
+import enum
+
 from repro.audit import InvariantAuditor, paranoid_enabled
 from repro.config import DiskConfig, HostNodeConfig, VmConfig
 from repro.disk.device import DiskDevice
@@ -55,6 +57,20 @@ def build_latency_model(cfg: DiskConfig) -> LatencyModel:
         rotation_fraction=cfg.rotation_fraction,
         per_request_overhead=cfg.per_request_overhead,
     )
+
+
+class HostState(enum.Enum):
+    """Host lifecycle: ``UP -> DEGRADED -> UP`` and ``* -> FAILED``.
+
+    DEGRADED hosts keep running and admitting VMs -- only their disk
+    (and therefore swap) is slower.  FAILED is terminal: the host
+    admits nothing, holds nothing, and its VMs are the evacuation
+    controller's problem.
+    """
+
+    UP = "up"
+    DEGRADED = "degraded"
+    FAILED = "failed"
 
 
 class Host:
@@ -99,6 +115,11 @@ class Host:
         self._next_code_base = 0
         #: Believed guest memory placed here (admission accounting).
         self.committed_guest_pages = 0
+        #: Lifecycle state (host-fault injection drives transitions).
+        self.state = HostState.UP
+        #: Whether this host was ever degraded -- experiments use it to
+        #: decide which hosts' VMs count as fault-unaffected survivors.
+        self.ever_degraded = False
 
         self.trace = trace
         self.disk.trace = trace
@@ -134,6 +155,8 @@ class Host:
 
     def can_admit(self, vm_config: VmConfig) -> bool:
         """Whether placement may put ``vm_config`` on this node."""
+        if self.state is HostState.FAILED:
+            return False
         code_pages = self.cfg.hypervisor_code_pages
         if self._next_code_base + code_pages > self._host_root.size_pages:
             return False
@@ -161,6 +184,40 @@ class Host:
     def over_pressure(self) -> bool:
         """Whether the node crossed its configured pressure threshold."""
         return self.swap_pressure >= self.node.pressure_threshold
+
+    # ------------------------------------------------------------------
+    # host lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether the host still runs (UP or DEGRADED)."""
+        return self.state is not HostState.FAILED
+
+    def fail(self) -> None:
+        """Hard crash: terminal, from any state.
+
+        Only flips the state (and clears any degradation); stripping
+        the resident VMs' host-side resources is the cluster's job --
+        see ``Cluster._fail_host``.
+        """
+        self.state = HostState.FAILED
+        self.disk.latency_scale = 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Enter a degradation window: disk service times scale up."""
+        if self.state is not HostState.UP:
+            return
+        self.state = HostState.DEGRADED
+        self.ever_degraded = True
+        self.disk.latency_scale = factor
+
+    def recover(self) -> None:
+        """Leave the degradation window (no-op unless DEGRADED)."""
+        if self.state is not HostState.DEGRADED:
+            return
+        self.state = HostState.UP
+        self.disk.latency_scale = 1.0
 
     # ------------------------------------------------------------------
     # VM lifecycle

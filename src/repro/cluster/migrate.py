@@ -18,23 +18,40 @@ tracked-resident pages arrive clean ("named") on the destination while
 everything else arrives dirty-assumed, as a real pre-copy would leave
 it.  Swapped-out pages are carried as resident memory: the wire format
 is page contents, not foreign swap slots.
+
+Failure semantics (host-fault injection): a copy that dies mid-transfer
+either *rolls back* -- the commit point was never reached, the VM keeps
+running on the source, no state moved -- or *completes* -- the failure
+hit after the commit point, so the destination finishes the move.
+Never both: the decision is drawn once, up front, and the two outcomes
+touch disjoint state.  The teardown/rebuild halves are exposed as
+:func:`teardown_vm_on_host` / :func:`rebuild_vm_on_host` so the
+evacuation controller (``repro.cluster.recovery``) can reuse them when
+the source host is dead and there is nothing to copy *from*.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.core.migration import MigrationPlanner
+from repro.errors import ExperimentError
 from repro.host.qemu import QemuProcess
 from repro.host.vm import Vm, code_key
 from repro.trace.collector import NULL_TRACE
 
 from repro.cluster.host import Host
 
+#: Bumped whenever MigrationRecord semantics change such that persisted
+#: records (cell phases in the result store) stop being comparable.
+MIGRATION_SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class MigrationRecord:
-    """One completed migration, as logged by the cluster."""
+    """One migration (or evacuation) attempt, as logged by the cluster."""
 
     time: float
     vm_name: str
@@ -48,24 +65,179 @@ class MigrationRecord:
     downtime_seconds: float
     #: Source swap pressure at the moment the controller acted.
     src_pressure: float
+    #: What kind of move this was: ``"pressure"`` (the periodic
+    #: controller) or ``"evacuation"`` (host-failure recovery).
+    kind: str = "pressure"
+    #: 1-based attempt number (evacuations retry with backoff).
+    attempt: int = 1
+    #: ``"completed"`` or ``"rolled-back"`` (mid-copy failure before
+    #: the commit point: the VM never left the source).
+    outcome: str = "completed"
 
     def to_dict(self) -> dict:
         return {
+            "schema": MIGRATION_SCHEMA_VERSION,
             "time": self.time, "vm": self.vm_name,
             "src": self.src, "dst": self.dst,
             "pages": self.carried_pages,
             "bytes": self.transferred_bytes,
             "downtime": self.downtime_seconds,
             "src_pressure": self.src_pressure,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "outcome": self.outcome,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MigrationRecord":
+        """Inverse of :meth:`to_dict` (store round-trips)."""
+        if data.get("schema") != MIGRATION_SCHEMA_VERSION:
+            raise ExperimentError(
+                f"migration record schema {data.get('schema')!r} != "
+                f"{MIGRATION_SCHEMA_VERSION}")
+        return cls(
+            time=data["time"], vm_name=data["vm"],
+            src=data["src"], dst=data["dst"],
+            carried_pages=data["pages"],
+            transferred_bytes=data["bytes"],
+            downtime_seconds=data["downtime"],
+            src_pressure=data["src_pressure"],
+            kind=data.get("kind", "pressure"),
+            attempt=data.get("attempt", 1),
+            outcome=data.get("outcome", "completed"),
+        )
+
+
+def carried_state(vm: Vm) -> tuple[list[int], set[int], list[int]]:
+    """``(carried gpas, tracked-resident subset, open buffers)`` of a VM.
+
+    The carried set is every page the VM must re-materialize on a new
+    host: EPT-present pages, host-swapped pages, and pages sitting in
+    open Preventer emulation buffers (not present, possibly not
+    swapped either -- their backing is a retained slot or a discarded
+    Mapper association).
+    """
+    mapper = vm.mapper
+    preventer = vm.preventer
+    buffered = (sorted(preventer._emulated) if preventer is not None
+                else [])
+    present = sorted(vm.ept.present_gpas())
+    carried = sorted(set(present) | set(vm.swap_slots) | set(buffered))
+    tracked = {gpa for gpa in present
+               if mapper is not None and mapper.is_tracked_resident(gpa)}
+    return carried, tracked, buffered
+
+
+def teardown_vm_on_host(vm: Vm, host: Host, *,
+                        carried: list[int] | None = None) -> list[int]:
+    """Strip every host-side resource of ``vm`` from ``host``.
+
+    Pure accounting -- no disk I/O -- shared by the migration source
+    half (which merges open emulation buffers through the disk *first*)
+    and by crash/evacuation paths (where the host is dead, or the
+    rebuild is being rolled back, and buffers are simply discarded:
+    their pages travel as dirty anonymous memory like everything else).
+    Returns the carried set that was stripped.
+    """
+    hyp = host.hypervisor
+    mapper = vm.mapper
+    preventer = vm.preventer
+    if preventer is not None:
+        for gpa in list(preventer._emulated):
+            preventer._emulated.pop(gpa, None)
+            # The merged-on-arrival page will not equal any disk block.
+            if mapper is not None and mapper.is_discarded(gpa):
+                mapper.drop_gpa(gpa)
+    if carried is None:
+        carried = sorted(set(vm.ept.present_gpas()) | set(vm.swap_slots))
+    for gpa in carried:
+        if vm.ept.is_present(gpa):
+            vm.ept.unmap_page(gpa)
+            host.frames.release(1)
+            vm.scanner.note_evicted(gpa)
+        if gpa in vm.swap_cache:
+            del vm.swap_cache[gpa]
+            host.frames.release(1)
+            vm.scanner.note_evicted(gpa)
+        slot = vm.swap_slots.pop(gpa, None)
+        if slot is not None:
+            vm.pending_swap.pop(gpa, None)
+            host.swap_area.free(slot)
+            hyp.slot_owner.pop(slot, None)
+        slot = vm.swap_clean.pop(gpa, None)
+        if slot is not None:
+            hyp.slot_owner.pop(slot, None)
+            host.swap_area.free(slot)
+    for index in sorted(vm.qemu.resident):
+        host.frames.release(1)
+        vm.scanner.note_evicted(code_key(index))
+    host.release_vm(vm)
+    return carried
+
+
+def rebuild_vm_on_host(vm: Vm, dst: Host, *, carried: list[int],
+                       tracked: set[int], region_name: str) -> None:
+    """The destination half: re-bind and re-materialize ``vm`` on
+    ``dst``, letting the destination's own reclaim make room.  Tracked
+    pages arrive clean and named; the rest is dirty-assumed anonymous
+    memory, as pre-copy leaves it."""
+    vm.image.region = dst.layout.add_region_pages(
+        region_name, vm.cfg.image_size_pages)
+    code_pages = dst.cfg.hypervisor_code_pages
+    base = dst.claim_code_base(code_pages)
+    vm.qemu = QemuProcess(dst._host_root, base, code_pages)
+    vm.guest.host = dst.hypervisor
+    dst.adopt_vm(vm)
+
+    # The map-back loop leaves the arriving VM inconsistent between
+    # iterations (mapper associations RESIDENT, EPT only partially
+    # rebuilt): reclaim-triggered audits must not walk it until the
+    # rebuild commits.
+    auditor = dst.auditor
+    guard = (auditor.suspended() if auditor is not None
+             else contextlib.nullcontext())
+    with guard:
+        for gpa in carried:
+            dst.hypervisor._make_room(vm, 1, "host")
+            is_tracked = gpa in tracked
+            vm.ept.map_page(gpa, accessed=False, dirty=not is_tracked)
+            dst.frames.allocate(1)
+            vm.scanner.note_resident(gpa, named=is_tracked)
+    vm.refresh_gauges()
+    if auditor is not None:
+        auditor.check(f"rebuild:{vm.name}")
 
 
 def migrate_vm(vm: Vm, src: Host, dst: Host, *,
                bandwidth_bytes_per_sec: float, region_name: str,
-               trace=NULL_TRACE) -> MigrationRecord:
-    """Evacuate ``vm`` from ``src`` to ``dst``; returns the record."""
+               trace=NULL_TRACE, kind: str = "pressure",
+               attempt: int = 1,
+               fail_point: str | None = None) -> MigrationRecord:
+    """Evacuate ``vm`` from ``src`` to ``dst``; returns the record.
+
+    ``fail_point`` (host-fault injection) is ``"rollback"`` -- the copy
+    dies before the commit point, nothing moves, the record reports
+    ``outcome="rolled-back"`` -- or ``"complete"`` -- the failure hits
+    after the commit, so the destination finishes the move normally.
+    """
     src_pressure = src.swap_pressure
     hyp = src.hypervisor
+
+    if fail_point == "rollback":
+        # The copy died with the source state untouched: account the
+        # wasted wire traffic, change nothing.
+        plan = MigrationPlanner().plan(vm)
+        transferred = (plan.vswapper_bytes if vm.mapper is not None
+                       else plan.baseline_bytes)
+        if trace.enabled:
+            trace.emit("cluster.migrate", vm=vm.name, src=src.name,
+                       dst=dst.name, pages=0, bytes=transferred,
+                       downtime=0.0, outcome="rolled-back")
+        return MigrationRecord(
+            time=src.engine.now, vm_name=vm.name, src=src.name,
+            dst=dst.name, carried_pages=0, transferred_bytes=transferred,
+            downtime_seconds=0.0, src_pressure=src_pressure,
+            kind=kind, attempt=attempt, outcome="rolled-back")
 
     # Open emulation buffers reference source-host swap slots: close
     # and merge them through the source before any accounting.
@@ -79,57 +251,16 @@ def migrate_vm(vm: Vm, src: Host, dst: Host, *,
     plan = MigrationPlanner().plan(vm)
     transferred = (plan.vswapper_bytes if vm.mapper is not None
                    else plan.baseline_bytes)
-    mapper = vm.mapper
-    present = sorted(vm.ept.present_gpas())
-    carried = sorted(set(present) | set(vm.swap_slots))
-    tracked = {gpa for gpa in present
-               if mapper is not None and mapper.is_tracked_resident(gpa)}
+    carried, tracked, _buffered = carried_state(vm)
 
     # --- source teardown: release every frame, slot, and ownership
     # record (buffered swap-out writes simply vanish -- the contents
     # travel over the wire instead of to the source disk).
-    for gpa in carried:
-        if vm.ept.is_present(gpa):
-            vm.ept.unmap_page(gpa)
-            src.frames.release(1)
-            vm.scanner.note_evicted(gpa)
-        if gpa in vm.swap_cache:
-            del vm.swap_cache[gpa]
-            src.frames.release(1)
-            vm.scanner.note_evicted(gpa)
-        slot = vm.swap_slots.pop(gpa, None)
-        if slot is not None:
-            vm.pending_swap.pop(gpa, None)
-            src.swap_area.free(slot)
-            hyp.slot_owner.pop(slot, None)
-        slot = vm.swap_clean.pop(gpa, None)
-        if slot is not None:
-            hyp.slot_owner.pop(slot, None)
-            src.swap_area.free(slot)
-    for index in sorted(vm.qemu.resident):
-        src.frames.release(1)
-        vm.scanner.note_evicted(code_key(index))
-    src.release_vm(vm)
+    teardown_vm_on_host(vm, src, carried=carried)
 
-    # --- destination rebind: image region, QEMU text, guest kernel.
-    vm.image.region = dst.layout.add_region_pages(
-        region_name, vm.cfg.image_size_pages)
-    code_pages = dst.cfg.hypervisor_code_pages
-    base = dst.claim_code_base(code_pages)
-    vm.qemu = QemuProcess(dst._host_root, base, code_pages)
-    vm.guest.host = dst.hypervisor
-    dst.adopt_vm(vm)
-
-    # --- rebuild: map every carried page, letting the destination's
-    # own reclaim make room.  Tracked pages arrive clean and named;
-    # the rest is dirty-assumed anonymous memory, as pre-copy leaves it.
-    for gpa in carried:
-        dst.hypervisor._make_room(vm, 1, "host")
-        is_tracked = gpa in tracked
-        vm.ept.map_page(gpa, accessed=False, dirty=not is_tracked)
-        dst.frames.allocate(1)
-        vm.scanner.note_resident(gpa, named=is_tracked)
-    vm.refresh_gauges()
+    # --- destination rebind + rebuild.
+    rebuild_vm_on_host(vm, dst, carried=carried, tracked=tracked,
+                       region_name=region_name)
 
     downtime = (transferred / bandwidth_bytes_per_sec
                 if bandwidth_bytes_per_sec > 0 else 0.0)
@@ -138,8 +269,9 @@ def migrate_vm(vm: Vm, src: Host, dst: Host, *,
     if trace.enabled:
         trace.emit("cluster.migrate", vm=vm.name, src=src.name,
                    dst=dst.name, pages=len(carried), bytes=transferred,
-                   downtime=downtime)
+                   downtime=downtime, outcome="completed")
     return MigrationRecord(
         time=src.engine.now, vm_name=vm.name, src=src.name, dst=dst.name,
         carried_pages=len(carried), transferred_bytes=transferred,
-        downtime_seconds=downtime, src_pressure=src_pressure)
+        downtime_seconds=downtime, src_pressure=src_pressure,
+        kind=kind, attempt=attempt, outcome="completed")

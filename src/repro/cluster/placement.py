@@ -23,6 +23,20 @@ from repro.errors import ConfigError, PlacementError
 from repro.cluster.host import Host
 
 
+def _describe_candidate(host: Host) -> str:
+    """One host's rejection context for the PlacementError message.
+
+    Names the occupancy and pressure numbers an operator needs to see
+    *why* the node refused, instead of hunting them through the rollups.
+    """
+    limit = host.admission_limit_pages
+    return (f"{host.name}: state={host.state.value}"
+            f" committed={host.committed_guest_pages}"
+            f"/{limit if limit is not None else 'unlimited'}"
+            f" ({host.committed_fraction:.0%})"
+            f" swap_pressure={host.swap_pressure:.0%}")
+
+
 def choose_host(policy: str, hosts: Sequence[Host],
                 vm_config: VmConfig) -> Host:
     """The host ``policy`` places ``vm_config`` on.
@@ -39,7 +53,8 @@ def choose_host(policy: str, hosts: Sequence[Host],
         raise PlacementError(
             f"no host admits VM {vm_config.name!r} "
             f"({vm_config.guest.memory_pages} believed pages): cluster "
-            f"admission capacity exhausted across {len(hosts)} host(s)")
+            f"admission capacity exhausted across {len(hosts)} host(s)"
+            f" [{'; '.join(_describe_candidate(host) for host in hosts)}]")
     if policy == "first-fit":
         return min(candidates, key=lambda host: host.host_id)
     if policy == "balance":

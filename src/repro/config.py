@@ -297,6 +297,41 @@ class FaultConfig:
     #: Kills only strike attempts up to this number (1 = first attempt
     #: only), so a retrying supervisor always recovers the cell.
     worker_kill_max_attempt: int = 1
+    # --- host lifecycle (cluster-level chaos) -------------------------
+    #: Probability a cluster host suffers a hard crash somewhere inside
+    #: the fault horizon.  Crash times are drawn from a *fresh* RNG
+    #: seeded by ``host_fault_seed`` (pure in (seed, host name)), never
+    #: from the cluster's streams, so arming host faults cannot perturb
+    #: the simulation of surviving hosts.
+    host_crash_rate: float = 0.0
+    #: Probability a host suffers a transient degradation window...
+    host_degrade_rate: float = 0.0
+    #: ...during which its disk (and therefore swap) latency is scaled
+    #: by this factor...
+    host_degrade_factor: float = 8.0
+    #: ...for this many virtual seconds.
+    host_degrade_duration: float = 30.0
+    #: Host crash/degradation onsets land uniformly in [0, horizon).
+    host_fault_horizon: float = 120.0
+    #: Probability one migration or evacuation copy fails mid-transfer
+    #: (rolled back on the source or completed on the destination --
+    #: never both; see ``repro.cluster.migrate``).
+    migration_failure_rate: float = 0.0
+    #: Seed of the host-fault substream (crashes, degradations, and
+    #: mid-copy failures all fork fresh from it).
+    host_fault_seed: int = 1
+    # --- evacuation (host-crash recovery policy) ----------------------
+    #: Re-placement attempts per evacuating VM after the first fails.
+    evac_max_retries: int = 4
+    #: First evacuation retry waits this long (virtual seconds)...
+    evac_backoff_base: float = 0.5
+    #: ...each further retry multiplies the wait by this factor...
+    evac_backoff_factor: float = 2.0
+    #: ...capped at this many seconds (capped exponential backoff).
+    evac_backoff_cap: float = 8.0
+    #: A VM still homeless this many virtual seconds after its host
+    #: failed is declared lost (per-VM evacuation deadline).
+    evac_deadline: float = 60.0
     # --- simulation watchdogs (honoured even when ``enabled=False``) --
     #: Abort the run after dispatching this many engine events.
     watchdog_max_events: int | None = None
@@ -307,7 +342,8 @@ class FaultConfig:
         for name in ("disk_transient_error_rate", "disk_latency_spike_rate",
                      "disk_torn_write_rate", "swap_read_error_rate",
                      "swap_slot_corruption_rate", "mapper_invalidation_rate",
-                     "worker_kill_rate"):
+                     "worker_kill_rate", "host_crash_rate",
+                     "host_degrade_rate", "migration_failure_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(f"{name} must be within [0, 1]: {rate}")
@@ -323,6 +359,23 @@ class FaultConfig:
             raise ConfigError("mapper_breaker_threshold must be positive")
         if self.worker_kill_max_attempt < 1:
             raise ConfigError("worker_kill_max_attempt must be >= 1")
+        if self.host_degrade_factor < 1.0:
+            raise ConfigError("host_degrade_factor must be >= 1")
+        if self.host_degrade_duration <= 0:
+            raise ConfigError("host_degrade_duration must be positive")
+        if self.host_fault_horizon <= 0:
+            raise ConfigError("host_fault_horizon must be positive")
+        if self.evac_max_retries < 0:
+            raise ConfigError("evac_max_retries must be non-negative")
+        if self.evac_backoff_base < 0:
+            raise ConfigError("evac_backoff_base must be non-negative")
+        if self.evac_backoff_factor < 1.0:
+            raise ConfigError("evac_backoff_factor must be >= 1")
+        if self.evac_backoff_cap < self.evac_backoff_base:
+            raise ConfigError(
+                "evac_backoff_cap must be >= evac_backoff_base")
+        if self.evac_deadline <= 0:
+            raise ConfigError("evac_deadline must be positive")
         if (self.watchdog_max_events is not None
                 and self.watchdog_max_events <= 0):
             raise ConfigError("watchdog_max_events must be positive")

@@ -59,6 +59,10 @@ class DiskDevice:
         self.max_write_backlog = max_write_backlog
         #: Optional deterministic fault schedule (chaos layer).
         self.faults = faults
+        #: Service-time multiplier while the owning host is degraded
+        #: (host-fault injection); exactly 1.0 means healthy and the
+        #: hot path skips the multiply entirely.
+        self.latency_scale = 1.0
         #: Trace collector; the machine swaps in a live one under
         #: ``--trace``.
         self.trace = NULL_TRACE
@@ -90,6 +94,8 @@ class DiskDevice:
         begin = max(now, self._busy_until)
         distance = abs(start_sector - self._head_sector)
         service = self.latency.service_time(distance, nsectors)
+        if self.latency_scale != 1.0:
+            service *= self.latency_scale
         if self.faults is not None and self.faults.enabled:
             service = self._inject_faults(service, write=write)
         completion = begin + service

@@ -33,6 +33,12 @@ MIN_OVERLAP = 0.5
 #: inflation interleaves with (rather than preempts) the workload.
 BALLOON_STEP_PAGES = 2048
 
+#: Virtual seconds a driver sleeps between polls while its VM is
+#: homeless (host crashed, evacuation in flight).  The freeze consumes
+#: no workload operations: the VM resumes exactly where the crash
+#: interrupted it once recovery re-homes it.
+EVAC_POLL_INTERVAL = 0.1
+
 
 def fault_overlap_for(threads: int, async_faults: bool) -> float:
     """Fraction of fault stall charged to a workload's critical path."""
@@ -74,6 +80,18 @@ class VmDriver:
 
     def _step(self) -> float | None:
         now = self.machine.now
+        if self.vm.lost:
+            # Host-failure recovery gave the VM up: the workload ends
+            # as crashed -- a typed hole, never a silent drop.
+            if self.started_at is None:
+                self.started_at = now
+            self.crashed = True
+            self.finished_at = now
+            return None
+        if self.vm.host is None:
+            # Homeless mid-evacuation: frozen, not finished.  Poll
+            # without consuming an operation.
+            return EVAC_POLL_INTERVAL
         if self.started_at is None:
             self.started_at = now
             self.vm.guest.workload_min_resident = \

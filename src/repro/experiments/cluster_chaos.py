@@ -1,0 +1,446 @@
+"""Cluster-chaos experiment: fleet survival under injected host crashes.
+
+The fault-tolerance question the density experiment leaves open: *when
+nodes die mid-run, how much of the fleet survives, how fast does
+evacuation re-home the victims, and what does the disruption cost the
+guests that were never touched?*  A four-node cluster runs phased
+MapReduce fleets under seeded host-fault schedules -- no faults, one
+crash, a mass crash that leaves a single survivor node, and a transient
+degradation window -- crossed with placement policies and fleet sizes.
+
+Each cell reports fleet survival (completed / lost), evacuation latency
+and retry counts, and a per-VM result *fingerprint* (a hash of the VM's
+final counters and runtime).  The assembler cross-checks the injection
+cells against their fault-free twins: every VM on an *unaffected* host
+-- never crashed, never degraded, never a migration source or
+destination -- must reproduce its fault-free fingerprint bit-exactly,
+because host faults draw from fresh ``host_fault_seed`` streams and
+never touch simulation randomness.  VMs that could not be re-homed
+surface as typed ``VmLost`` holes in the figure, never silent drops.
+
+Schedule seeds are chosen empirically (for the four-node fleet at crash
+rate 0.45 / degrade rate 0.6) so each schedule produces its designed
+shape: ``crash-one`` kills exactly node0 a quarter into the horizon;
+``crash-most`` kills node0, node1, and node3, leaving node2 the only
+survivor (mass evacuation, then losses once it fills); ``degrade``
+opens slow-disk windows on node0 and node1 and crashes nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cluster import Cluster, HostState
+from repro.config import (
+    ClusterConfig,
+    ClusterMigrationConfig,
+    FaultConfig,
+    VmConfig,
+)
+from repro.driver import VmDriver
+from repro.errors import InvariantViolation
+from repro.exec.executor import finish_figure, run_sweep
+from repro.exec.spec import CellSpec, Sweep, fault_params
+from repro.experiments.cluster import _fleet_nodes
+from repro.experiments.dynamic import make_mapreduce
+from repro.experiments.runner import (
+    FAULT_INDUCED_ERRORS,
+    ConfigName,
+    ConfigSpec,
+    FigureResult,
+    PhaseMark,
+    RunResult,
+    scaled_guest_config,
+    standard_configs,
+)
+from repro.metrics.report import Table
+from repro.units import mib_pages
+
+#: Virtual-time horizon (at scale 1) the host-fault schedule draws
+#: crash/degradation times from; scaled down with the workload.
+FAULT_HORIZON = 240.0
+
+#: Host crash probability per node under the crash schedules.
+CRASH_RATE = 0.45
+
+#: Degradation probability and window shape under ``degrade``.
+DEGRADE_RATE = 0.6
+DEGRADE_FACTOR = 8.0
+
+#: The fault schedules, keyed by cell-id component.  Values are
+#: FaultConfig overrides; None means a fault-free run (the twin every
+#: injection cell's survivors are checked against).  Seeds were chosen
+#: by scanning ``FaultPlan.host_crash_time``/``host_degrade_window``
+#: over the four-node fleet (see module docstring).
+SCHEDULES: dict[str, dict | None] = {
+    "none": None,
+    "crash-one": {"host_crash_rate": CRASH_RATE, "host_fault_seed": 22},
+    "crash-most": {"host_crash_rate": CRASH_RATE, "host_fault_seed": 7},
+    "degrade": {"host_degrade_rate": DEGRADE_RATE,
+                "host_degrade_factor": DEGRADE_FACTOR,
+                "host_fault_seed": 4},
+}
+
+#: Placement policies crossed with the schedules.
+CHAOS_POLICIES = ("first-fit", "balance")
+
+#: Fleet sizes: 8 guests is the four-node admission capacity, so a
+#: crash there has nowhere to evacuate to and losses must surface.
+CHAOS_FLEET_SIZES = (4, 8)
+
+
+def schedule_fault_config(schedule: str, *, scale: int) -> FaultConfig | None:
+    """The FaultConfig one schedule injects (None for ``none``)."""
+    overrides = SCHEDULES[schedule]
+    if overrides is None:
+        return None
+    return FaultConfig(
+        enabled=True,
+        host_fault_horizon=FAULT_HORIZON / scale,
+        host_degrade_duration=FAULT_HORIZON / (4 * scale),
+        **overrides,
+    )
+
+
+def _fingerprint(payload: dict) -> str:
+    """Stable short hash of one VM's observable outcome."""
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass
+class ChaosFleetResult:
+    """Outcome of one fleet run under one fault schedule."""
+
+    config: ConfigName
+    runtimes: list[float]
+    oom_kills: int
+    placements: list[tuple[str, str]]
+    migrations: list
+    lost: list
+    evac_latencies: dict[str, float]
+    evac_retries: int
+    host_states: dict[str, str]
+    host_crashes: int
+    host_degrades: int
+    #: vm name -> hash of (runtime, counters); the survivor-identity
+    #: cross-check currency.
+    fingerprints: dict[str, str] = field(default_factory=dict)
+    #: Hosts no fault or migration ever touched; their VMs must match
+    #: the fault-free twin bit-exactly.
+    unaffected_hosts: list[str] = field(default_factory=list)
+    #: vm name -> host the VM sat on when the run ended (or "lost").
+    final_hosts: dict[str, str] = field(default_factory=dict)
+
+
+def run_chaos_fleet(spec: ConfigSpec, *, schedule: str, num_guests: int,
+                    num_hosts: int = 4, policy: str = "first-fit",
+                    scale: int = 1, stagger_seconds: float = 10.0,
+                    seed: int = 1) -> ChaosFleetResult:
+    """Run ``num_guests`` MapReduce guests under one fault schedule.
+
+    Pressure-driven migration stays off: every move in the log is then
+    recovery's doing, which keeps the evacuation accounting exact.
+    """
+    faults = schedule_fault_config(schedule, scale=scale)
+    cluster = Cluster(ClusterConfig(
+        hosts=_fleet_nodes(
+            num_hosts, scale=scale, host_mib=4096,
+            overcommit_ratio=2.0, swap_budget_mib=512,
+            pressure_threshold=0.5),
+        placement=policy,
+        migration=ClusterMigrationConfig(enabled=False),
+        seed=seed,
+        faults=faults,
+    ))
+    drivers: list[VmDriver] = []
+    for i in range(num_guests):
+        vm = cluster.create_vm(VmConfig(
+            name=f"vm{i}",
+            guest=scaled_guest_config(2048, scale),
+            vswapper=spec.vswapper,
+            image_size_pages=mib_pages(4096 / scale),
+            vcpus=2,
+        ))
+        vm.host.boot_guest(vm, fraction=0.2)
+        vm.guest.fs.create_file("metis-input", mib_pages(300 / scale))
+        vm.guest.fs.create_file("metis-output", mib_pages(16 / scale))
+        drivers.append(VmDriver(
+            cluster, vm, make_mapreduce(scale, seed=100 + i),
+            start_delay=i * stagger_seconds / scale))
+
+    while not all(d.done for d in drivers):
+        if cluster.engine.pending_events() == 0:
+            raise RuntimeError("engine drained before guests finished")
+        cluster.engine.run(until=cluster.now + 60.0)
+    cluster.engine.stop()
+
+    touched = {record.src for record in cluster.migrations}
+    touched |= {record.dst for record in cluster.migrations}
+    touched |= {record.host for record in cluster.lost}
+    unaffected = [host.name for host in cluster.hosts
+                  if host.state is HostState.UP
+                  and not host.ever_degraded
+                  and host.name not in touched]
+    fingerprints = {}
+    final_hosts = {}
+    for driver in drivers:
+        vm = driver.vm
+        fingerprints[vm.name] = _fingerprint({
+            "runtime": (driver.runtime
+                        if driver.done and not driver.crashed else None),
+            "crashed": driver.crashed,
+            "counters": vm.counters.snapshot(),
+        })
+        final_hosts[vm.name] = (vm.host.name if vm.host is not None
+                                else "lost")
+    plan_counters = (cluster.faults.counters.snapshot()
+                     if cluster.faults is not None else {})
+    return ChaosFleetResult(
+        config=spec.name,
+        runtimes=[d.runtime for d in drivers
+                  if not d.crashed and d.started_at is not None],
+        oom_kills=sum(1 for d in drivers if d.crashed and not d.vm.lost),
+        placements=list(cluster.placements),
+        migrations=list(cluster.migrations),
+        lost=list(cluster.lost),
+        evac_latencies=dict(cluster.evac.latencies),
+        evac_retries=cluster.evac.retries,
+        host_states={h.name: h.state.value for h in cluster.hosts},
+        host_crashes=plan_counters.get("host_crashes", 0),
+        host_degrades=plan_counters.get("host_degrades", 0),
+        fingerprints=fingerprints,
+        unaffected_hosts=unaffected,
+        final_hosts=final_hosts,
+    )
+
+
+def _chaos_cells(schedules: Sequence[str], policies: Sequence[str],
+                 fleet_sizes: Sequence[int], *, scale: int,
+                 num_hosts: int = 4) -> tuple[CellSpec, ...]:
+    """One cell per (schedule, policy, fleet size), vswapper config.
+
+    The cells are *hermetic*: each carries exactly its schedule's fault
+    plan (the ``none`` schedule carries none), never the ambient CLI
+    plan -- the fault-free twin must stay fault-free or the survivor
+    cross-check would compare against a polluted baseline.
+    """
+    def cell_faults(schedule: str) -> dict | None:
+        cfg = schedule_fault_config(schedule, scale=scale)
+        # fault_params(None) would capture the ambient default; the
+        # "none" twin must bypass it.
+        return None if cfg is None else fault_params(cfg)
+
+    return tuple(
+        CellSpec(
+            experiment_id="cluster-chaos",
+            cell_id=f"{schedule}@{policy}x{n}",
+            scale=scale,
+            config=ConfigName.VSWAPPER.value,
+            params={
+                "schedule": schedule,
+                "num_guests": n,
+                "num_hosts": num_hosts,
+                "policy": policy,
+            },
+            faults=cell_faults(schedule),
+        )
+        for schedule in schedules
+        for policy in policies
+        for n in fleet_sizes)
+
+
+def build_cluster_chaos_sweep(
+    *,
+    scale: int = 1,
+    schedules: Sequence[str] = tuple(SCHEDULES),
+    policies: Sequence[str] = CHAOS_POLICIES,
+    fleet_sizes: Sequence[int] = CHAOS_FLEET_SIZES,
+) -> Sweep:
+    """Declare the chaos grid: schedule x policy x fleet size."""
+    return Sweep("cluster-chaos", _chaos_cells(
+        schedules, policies, fleet_sizes, scale=scale))
+
+
+def cluster_chaos_cell(spec: CellSpec) -> RunResult:
+    """Run one chaos cell and fold it into a RunResult.
+
+    The cell's own fault schedule is rebuilt from the spec (not the
+    ambient default), so a cached cell is a pure function of its spec.
+    Placement failures during *initial* deployment mean the fleet never
+    fit and the cell reports crashed; losses during the run are data,
+    not errors.
+    """
+    config = standard_configs([ConfigName(spec.config)])[0]
+    try:
+        outcome = run_chaos_fleet(
+            config,
+            schedule=spec.params["schedule"],
+            num_guests=spec.params["num_guests"],
+            num_hosts=spec.params["num_hosts"],
+            policy=spec.params["policy"],
+            scale=spec.scale,
+            seed=spec.seed,
+        )
+    except InvariantViolation:
+        # A failed self-check is a simulator bug: propagate loudly.
+        raise
+    except FAULT_INDUCED_ERRORS as error:
+        return RunResult(
+            config=config.name, runtime=None, crashed=True, counters={},
+            crash_reason=f"{type(error).__name__}: {error}")
+    runtime = (sum(outcome.runtimes) / len(outcome.runtimes)
+               if outcome.runtimes else None)
+    phases = [PhaseMark("placement", {"vm": vm, "host": host}, 0.0)
+              for vm, host in outcome.placements]
+    phases += [PhaseMark("migration", record.to_dict(), record.time)
+               for record in outcome.migrations]
+    phases += [PhaseMark("vm-lost", record.to_dict(), record.time)
+               for record in outcome.lost]
+    phases.append(PhaseMark("survivors", {
+        "fingerprints": outcome.fingerprints,
+        "unaffected_hosts": outcome.unaffected_hosts,
+        "final_hosts": outcome.final_hosts,
+        "host_states": outcome.host_states,
+        "evac_latencies": outcome.evac_latencies,
+    }, 0.0))
+    return RunResult(
+        config=config.name,
+        runtime=runtime,
+        crashed=False,
+        counters={
+            "vms_placed": len(outcome.placements),
+            "vms_completed": len(outcome.runtimes),
+            "vms_lost": len(outcome.lost),
+            "oom_kills": outcome.oom_kills,
+            "host_crashes": outcome.host_crashes,
+            "host_degrades": outcome.host_degrades,
+            "evacuations": sum(1 for r in outcome.migrations
+                               if r.kind == "evacuation"
+                               and r.outcome == "completed"),
+            "evac_retries": outcome.evac_retries,
+        },
+        phases=phases,
+    )
+
+
+def _survivors_payload(result: RunResult) -> dict:
+    for mark in result.phases:
+        if mark.name == "survivors":
+            return mark.payload
+    return {}
+
+
+def _chaos_row(result: RunResult, baseline: RunResult | None) -> dict:
+    """One figure row: survival, recovery, and the survivor check."""
+    placed = result.counters.get("vms_placed", 0)
+    lost = result.counters.get("vms_lost", 0)
+    payload = _survivors_payload(result)
+    latencies = list(payload.get("evac_latencies", {}).values())
+    row = {
+        "survival_rate": (placed - lost) / placed if placed else None,
+        "completed": result.counters.get("vms_completed", 0),
+        "lost": lost,
+        "evacuations": result.counters.get("evacuations", 0),
+        "evac_retries": result.counters.get("evac_retries", 0),
+        "mean_evac_latency": (sum(latencies) / len(latencies)
+                              if latencies else None),
+        "host_crashes": result.counters.get("host_crashes", 0),
+        "crashed": result.crashed,
+        "slowdown": None,
+        "survivors_identical": None,
+        "survivors_checked": 0,
+    }
+    if baseline is not None and not baseline.crashed:
+        if result.runtime is not None and baseline.runtime:
+            row["slowdown"] = result.runtime / baseline.runtime
+        base = _survivors_payload(baseline)
+        unaffected = set(payload.get("unaffected_hosts", []))
+        survivors = [vm for vm, host in
+                     payload.get("final_hosts", {}).items()
+                     if host in unaffected]
+        mine = payload.get("fingerprints", {})
+        theirs = base.get("fingerprints", {})
+        row["survivors_checked"] = len(survivors)
+        row["survivors_identical"] = all(
+            mine.get(vm) == theirs.get(vm) for vm in survivors)
+    return row
+
+
+def assemble_cluster_chaos(sweep: Sweep,
+                           results: Mapping[str, RunResult]) -> FigureResult:
+    """Build the survival/recovery table and run the survivor check."""
+    scale = sweep.cells[0].scale
+    baselines = {
+        (cell.params["policy"], cell.params["num_guests"]):
+            results[cell.cell_id]
+        for cell in sweep.cells if cell.params["schedule"] == "none"
+    }
+    series: dict = {}
+    table = Table(
+        f"Cluster chaos (scale=1/{scale}): fleet survival under host "
+        f"crashes, four nodes",
+        ["schedule", "policy", "guests", "survival", "lost",
+         "evacs", "retries", "evac lat [s]", "slowdown",
+         "survivors identical"],
+    )
+    holes: list[str] = []
+    for cell in sweep.cells:
+        schedule = cell.params["schedule"]
+        policy = cell.params["policy"]
+        n = cell.params["num_guests"]
+        result = results[cell.cell_id]
+        baseline = (baselines.get((policy, n))
+                    if schedule != "none" else None)
+        row = _chaos_row(result, baseline)
+        series.setdefault(f"{policy}x{n}", {})[schedule] = row
+        survival = row["survival_rate"]
+        latency = row["mean_evac_latency"]
+        if schedule == "none":
+            identical = "-"
+        elif row["survivors_identical"] is None:
+            identical = "?"
+        elif row["survivors_checked"] == 0:
+            identical = "n/a"
+        else:
+            identical = ("yes" if row["survivors_identical"]
+                         else "NO (BIT-DRIFT)")
+        table.add_row(
+            schedule, policy, n,
+            "-" if survival is None else f"{survival:.0%}",
+            row["lost"], row["evacuations"], row["evac_retries"],
+            "-" if latency is None else round(latency, 2),
+            "-" if row["slowdown"] is None else round(row["slowdown"], 2),
+            identical)
+        for mark in result.phases:
+            if mark.name == "vm-lost":
+                holes.append(
+                    f"  VmLost: {cell.cell_id}: {mark.payload['vm']} "
+                    f"(host {mark.payload['host']}, "
+                    f"{mark.payload['attempts']} attempts)")
+    rendered = table.render()
+    if holes:
+        rendered += ("\nExplicit figure holes (VMs recovery could not "
+                     "re-home):\n" + "\n".join(holes))
+    return FigureResult("cluster-chaos", series, rendered)
+
+
+def run_cluster_chaos_experiment(
+    *,
+    scale: int = 1,
+    schedules: Sequence[str] = tuple(SCHEDULES),
+    policies: Sequence[str] = CHAOS_POLICIES,
+    fleet_sizes: Sequence[int] = CHAOS_FLEET_SIZES,
+    executor=None, store=None, resume: bool = False,
+) -> FigureResult:
+    """Regenerate the fleet-survival table."""
+    sweep = build_cluster_chaos_sweep(
+        scale=scale, schedules=schedules, policies=policies,
+        fleet_sizes=fleet_sizes)
+    outcome = run_sweep(sweep, executor=executor, store=store,
+                        resume=resume)
+    return finish_figure(
+        assemble_cluster_chaos(sweep, outcome.results), outcome, store)

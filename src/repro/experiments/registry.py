@@ -42,6 +42,11 @@ from repro.experiments.cluster import (
     cluster_fleet_cell,
     run_cluster_experiment,
 )
+from repro.experiments.cluster_chaos import (
+    build_cluster_chaos_sweep,
+    cluster_chaos_cell,
+    run_cluster_chaos_experiment,
+)
 from repro.experiments.dynamic import (
     build_fig04_sweep,
     build_fig14_sweep,
@@ -161,6 +166,10 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
     "cluster": ExperimentDef(
         "cluster", "four-node consolidation density vs per-guest slowdown",
         run_cluster_experiment, build_cluster_exp_sweep),
+    "cluster-chaos": ExperimentDef(
+        "cluster-chaos",
+        "fleet survival and evacuation under injected host crashes",
+        run_cluster_chaos_experiment, build_cluster_chaos_sweep),
     "chaos": ExperimentDef(
         "chaos", "five configs under deterministic fault injection",
         run_chaos, build_chaos_sweep),
@@ -190,6 +199,7 @@ CELL_RUNNERS: dict[str, Callable[[CellSpec], RunResult]] = {
     "migration-study": migration_cell,
     "chaos": chaos_cell,
     "cluster": cluster_fleet_cell,
+    "cluster-chaos": cluster_chaos_cell,
 }
 
 

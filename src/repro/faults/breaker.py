@@ -27,3 +27,14 @@ class CircuitBreaker:
             self.tripped = True
             return True
         return False
+
+    def reset(self) -> None:
+        """Re-close the breaker and forget every recorded fault.
+
+        Nothing inside a run calls this -- a tripped Mapper stays in
+        the Section 4.1 fallback for the run's remainder -- but an
+        operator acting between runs (or a recovered host) may re-arm
+        the mechanism; the next trip needs ``threshold`` fresh faults.
+        """
+        self.count = 0
+        self.tripped = False

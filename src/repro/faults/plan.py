@@ -246,3 +246,58 @@ class FaultPlan:
     def new_breaker(self) -> CircuitBreaker:
         """A fresh per-VM circuit breaker at the configured threshold."""
         return CircuitBreaker(self.cfg.mapper_breaker_threshold)
+
+    # ------------------------------------------------------------------
+    # host lifecycle (cluster-level chaos)
+    # ------------------------------------------------------------------
+    #
+    # Host-fault draws follow the ``should_kill_worker`` discipline: a
+    # *fresh* RNG forked from ``host_fault_seed`` per decision, never
+    # the machine's streams.  Arming host faults therefore consumes no
+    # randomness any simulation component sees, which is what makes a
+    # surviving host's VMs bit-identical to an uninjected run.
+
+    def host_crash_time(self, host_name: str) -> float | None:
+        """Virtual time at which ``host_name`` hard-crashes, or None.
+
+        Pure in ``(host_fault_seed, host_name)``: the same seed replays
+        the same crash schedule across interpreter launches.
+        """
+        if not self.enabled or not self.cfg.host_crash_rate:
+            return None
+        rng = DeterministicRng(self.cfg.host_fault_seed).fork(
+            f"host-crash:{host_name}")
+        if not rng.chance(self.cfg.host_crash_rate):
+            return None
+        return rng.uniform(0.0, self.cfg.host_fault_horizon)
+
+    def host_degrade_window(
+            self, host_name: str) -> tuple[float, float, float] | None:
+        """``(start, duration, latency factor)`` of a transient
+        degradation window for ``host_name``, or None."""
+        if not self.enabled or not self.cfg.host_degrade_rate:
+            return None
+        rng = DeterministicRng(self.cfg.host_fault_seed).fork(
+            f"host-degrade:{host_name}")
+        if not rng.chance(self.cfg.host_degrade_rate):
+            return None
+        start = rng.uniform(0.0, self.cfg.host_fault_horizon)
+        return (start, self.cfg.host_degrade_duration,
+                self.cfg.host_degrade_factor)
+
+    def migration_fail_point(self, label: str, seq: int) -> str | None:
+        """Whether (and how) one migration copy fails mid-transfer.
+
+        Returns ``"rollback"`` (the copy dies before the commit point:
+        the VM stays on the source, untouched), ``"complete"`` (it dies
+        after: the destination finishes the move), or None.  Pure in
+        ``(host_fault_seed, label, seq)`` so a retried copy draws a
+        fresh, reproducible decision.
+        """
+        if not self.enabled or not self.cfg.migration_failure_rate:
+            return None
+        rng = DeterministicRng(self.cfg.host_fault_seed).fork(
+            f"migration-fail:{label}:{seq}")
+        if not rng.chance(self.cfg.migration_failure_rate):
+            return None
+        return "complete" if rng.chance(0.5) else "rollback"

@@ -107,7 +107,12 @@ class Vm:
         #: Attached by the machine right after guest construction.
         self.guest: "GuestKernel | None" = None
         #: Owning cluster host; set on placement, rebound on migration.
+        #: ``None`` while orphaned by a host crash (evacuation pending).
         self.host = None
+        #: Set when host-failure recovery gave the VM up for lost; its
+        #: driver then reports the workload as crashed (a typed figure
+        #: hole, never a silent drop).
+        self.lost = False
         #: Stall seconds to charge to the VM's next operation (live
         #: migration downtime lands here; the driver drains it).
         self.pending_stall = 0.0

@@ -24,8 +24,20 @@ kind                   emitted by / meaning
 ``preventer.merge``    an emulation buffer was merged back (args: sync)
 ``phase.mark``         workload phase boundary (args: name)
 ``cluster.place``      scheduler placed a VM on a host (args: host)
-``cluster.migrate``    pressure-driven evacuation moved a VM (args: src,
-                       dst, pages, bytes, downtime)
+``cluster.migrate``    a migration attempt ran (args: src, dst, pages,
+                       bytes, downtime, outcome -- ``completed`` or
+                       ``rolled-back`` on mid-copy failure)
+``host.fail``          a host hard-crashed (args: host, vms orphaned)
+``host.degrade``       a degradation window opened (args: host, factor)
+``host.recover``       the degradation window closed (args: host)
+``evac.start``         recovery took charge of an orphaned VM (args:
+                       src, pages)
+``evac.retry``         an evacuation attempt failed; backing off (args:
+                       attempt, backoff, error)
+``evac.done``          the VM was re-homed (args: src, dst, attempt,
+                       downtime)
+``evac.lost``          recovery gave the VM up (args: src, reason,
+                       attempts)
 ``engine.stop``        the engine was halted
 ``engine.watchdog``    a watchdog limit fired (the run is about to abort)
 =====================  =====================================================

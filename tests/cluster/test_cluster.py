@@ -61,6 +61,25 @@ def test_placement_error_when_nothing_admits():
         cluster.create_vm(small_vm_config())
 
 
+def test_placement_error_names_every_candidate_with_occupancy():
+    """The rejection message carries per-host state/occupancy/pressure
+    so an operator sees *why* each node refused."""
+    cluster = Cluster(ClusterConfig(
+        hosts=four_nodes(overcommit_ratio=0.0625)))  # 16 MiB: one guest
+    for i in range(4):
+        cluster.create_vm(small_vm_config(name=f"vm{i}"))
+    cluster.hosts[3].fail()
+    with pytest.raises(PlacementError) as excinfo:
+        cluster.create_vm(small_vm_config(name="vm4"))
+    message = str(excinfo.value)
+    for name in ("node0", "node1", "node2", "node3"):
+        assert name in message
+    assert "state=up" in message
+    assert "state=failed" in message
+    assert "committed=4096/4096 (100%)" in message
+    assert "swap_pressure=" in message
+
+
 def test_unknown_policy_rejected():
     with pytest.raises(ConfigError):
         Cluster(ClusterConfig(hosts=(small_node(),),

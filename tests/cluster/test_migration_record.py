@@ -1,0 +1,86 @@
+"""MigrationRecord/VmLost schema: round-trips, version guard, store."""
+
+import pytest
+
+from repro.cluster.migrate import MIGRATION_SCHEMA_VERSION, MigrationRecord
+from repro.cluster.recovery import VMLOST_SCHEMA_VERSION, VmLost
+from repro.errors import ExperimentError
+from repro.exec.spec import CellSpec
+from repro.exec.store import ResultStore
+from repro.experiments.runner import ConfigName, PhaseMark, RunResult
+
+
+def _record(**overrides) -> MigrationRecord:
+    defaults = dict(time=12.5, vm_name="vm3", src="node0", dst="node2",
+                    carried_pages=4096, transferred_bytes=7_340_032,
+                    downtime_seconds=0.0625, src_pressure=0.75,
+                    kind="evacuation", attempt=3, outcome="completed")
+    defaults.update(overrides)
+    return MigrationRecord(**defaults)
+
+
+def _hole() -> VmLost:
+    return VmLost(time=30.0, vm_name="vm1", host="node0",
+                  reason="retries exhausted after 5 attempt(s)",
+                  attempts=5)
+
+
+def test_migration_record_round_trip():
+    record = _record()
+    data = record.to_dict()
+    assert data["schema"] == MIGRATION_SCHEMA_VERSION
+    assert MigrationRecord.from_dict(data) == record
+
+
+def test_migration_record_rejects_foreign_schema():
+    for bad in (0, MIGRATION_SCHEMA_VERSION + 1,
+                str(MIGRATION_SCHEMA_VERSION)):
+        data = _record().to_dict()
+        data["schema"] = bad
+        with pytest.raises(ExperimentError):
+            MigrationRecord.from_dict(data)
+    unversioned = _record().to_dict()
+    del unversioned["schema"]
+    with pytest.raises(ExperimentError):
+        MigrationRecord.from_dict(unversioned)
+
+
+def test_migration_record_defaults_optional_fields():
+    """A minimal dict (schema + core fields) reads as a plain completed
+    pressure migration."""
+    data = {"schema": MIGRATION_SCHEMA_VERSION, "time": 1.0, "vm": "vm0",
+            "src": "node0", "dst": "node1", "pages": 8, "bytes": 32768,
+            "downtime": 0.001, "src_pressure": 0.5}
+    record = MigrationRecord.from_dict(data)
+    assert (record.kind, record.attempt, record.outcome) == \
+        ("pressure", 1, "completed")
+
+
+def test_vm_lost_round_trip_and_schema_guard():
+    hole = _hole()
+    data = hole.to_dict()
+    assert data["schema"] == VMLOST_SCHEMA_VERSION
+    assert VmLost.from_dict(data) == hole
+    data["schema"] += 1
+    with pytest.raises(ExperimentError):
+        VmLost.from_dict(data)
+
+
+def test_records_survive_the_result_store(tmp_path):
+    """Records embedded as phase payloads round-trip the JSON store
+    bit-exactly -- the cluster-chaos figure is reassembled from them."""
+    record, hole = _record(), _hole()
+    result = RunResult(
+        config=ConfigName.VSWAPPER, runtime=5.0, crashed=False,
+        counters={"evacuations": 1, "vms_lost": 1},
+        phases=[PhaseMark("migration", record.to_dict(), record.time),
+                PhaseMark("vm-lost", hole.to_dict(), hole.time)])
+    spec = CellSpec(experiment_id="cluster-chaos",
+                    cell_id="crash-one@first-fitx4", scale=8,
+                    config="vswapper", params={"schedule": "crash-one"})
+    store = ResultStore(tmp_path)
+    store.store_cell(spec, result, wall_seconds=0.1)
+    loaded = store.load_cell(spec)
+    assert loaded == result
+    assert MigrationRecord.from_dict(loaded.phases[0].payload) == record
+    assert VmLost.from_dict(loaded.phases[1].payload) == hole

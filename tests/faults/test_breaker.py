@@ -1,0 +1,59 @@
+"""CircuitBreaker: threshold boundaries, single trip, reset re-arming."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.breaker import CircuitBreaker
+
+
+def test_trip_fires_exactly_at_the_threshold_boundary():
+    breaker = CircuitBreaker(3)
+    assert [breaker.record() for _ in range(5)] == \
+        [False, False, True, False, False]
+    assert breaker.tripped
+    assert breaker.count == 5
+
+
+def test_threshold_one_trips_on_the_first_fault():
+    breaker = CircuitBreaker(1)
+    assert breaker.record()
+    assert breaker.tripped
+
+
+def test_non_positive_thresholds_rejected():
+    for bad in (0, -1, -8):
+        with pytest.raises(ValueError):
+            CircuitBreaker(bad)
+
+
+def test_reset_rearms_and_demands_threshold_fresh_faults():
+    breaker = CircuitBreaker(2)
+    breaker.record()
+    assert breaker.record()  # tripped
+    breaker.reset()
+    assert not breaker.tripped
+    assert breaker.count == 0
+    # The next trip needs `threshold` *fresh* faults, not just one more.
+    assert not breaker.record()
+    assert breaker.record()
+
+
+def test_reset_of_a_closed_breaker_is_harmless():
+    breaker = CircuitBreaker(3)
+    breaker.record()
+    breaker.reset()
+    assert [breaker.record() for _ in range(3)] == [False, False, True]
+
+
+@settings(max_examples=60, deadline=None)
+@given(threshold=st.integers(1, 50), faults=st.integers(0, 120))
+def test_trip_is_monotone_in_recorded_faults(threshold, faults):
+    """Tripped iff count >= threshold, the trip fires exactly once, and
+    once open the breaker never closes on its own."""
+    breaker = CircuitBreaker(threshold)
+    trips = [breaker.record() for _ in range(faults)]
+    assert breaker.tripped == (faults >= threshold)
+    assert trips.count(True) == (1 if faults >= threshold else 0)
+    if faults >= threshold:
+        assert trips.index(True) == threshold - 1

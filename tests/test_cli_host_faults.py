@@ -1,0 +1,51 @@
+"""CLI host-fault knobs: typed validation, and the ambient plan wiring."""
+
+import pytest
+
+from repro.cli import _validate_evac_deadline, _validate_host_fault_rate, main
+from repro.errors import ConfigError
+
+
+def test_negative_or_zero_host_fault_rate_rejected(capsys):
+    for bad in ("-0.5", "0", "0.0"):
+        assert main(["run", "fig3", "--scale", "32",
+                     "--host-faults", bad]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--host-faults must be a rate in (0, 1]" in err
+
+
+def test_rate_above_one_rejected(capsys):
+    assert main(["run", "fig3", "--scale", "32",
+                 "--host-faults", "1.5"]) == 1
+    assert "--host-faults must be a rate in (0, 1]" in \
+        capsys.readouterr().err
+
+
+def test_non_positive_evac_deadline_rejected(capsys):
+    for bad in ("0", "-3"):
+        assert main(["run", "fig3", "--scale", "32",
+                     "--evac-deadline", bad]) == 1
+        err = capsys.readouterr().err
+        assert "--evac-deadline must be positive" in err
+
+
+def test_validators_raise_typed_config_errors():
+    with pytest.raises(ConfigError):
+        _validate_host_fault_rate(-0.5)
+    with pytest.raises(ConfigError):
+        _validate_host_fault_rate(1.0001)
+    with pytest.raises(ConfigError):
+        _validate_evac_deadline(0.0)
+    # None means "flag not given": never an error.
+    _validate_host_fault_rate(None)
+    _validate_evac_deadline(None)
+    _validate_host_fault_rate(1.0)
+    _validate_evac_deadline(0.5)
+
+
+def test_list_names_the_chaos_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster-chaos" in out
+    assert "cells=16" in out
