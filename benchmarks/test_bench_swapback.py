@@ -1,0 +1,109 @@
+"""Swap-backend micro-benchmarks: per-op store/load cost per backend.
+
+The backend layer sits on the hypervisor's swap hot path, so its own
+bookkeeping (queue heap, capacity sets, compressed-size draws, tier
+policy) must stay cheap relative to the simulation work around it.
+This bench times raw ``store``/``load`` calls against each registered
+backend -- wall-clock cost of the *Python* model, not the virtual
+stall it returns -- and accumulates ``BENCH_swapback.json`` in the
+same stamped shape as ``BENCH_hotpath.json`` (``suite`` marker plus a
+per-op ``ops`` map), which the CI benchmarks job's payload check
+understands.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, RESULTS_DIR, run_once
+from repro.config import swap_backend_config
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+from repro.swapback.factory import build_swap_backend
+
+#: Timing repeats per backend; the best round is recorded.
+ROUNDS = 3
+
+#: Operations per timing round, scaled down like the figures are.
+OPS = max(256, 4096 // BENCH_SCALE)
+
+#: Every non-disk backend (the disk path is priced by the device-model
+#: bench in test_bench_hotpath.py, which drives the real DiskDevice).
+BACKENDS = ("ssd", "nvme", "zram", "remote", "tiered")
+
+SWAPBACK_JSON = RESULTS_DIR / "BENCH_swapback.json"
+
+
+@pytest.fixture(scope="module")
+def swapback_payload():
+    """Accumulates per-backend timings; written once at module end."""
+    payload: dict = {
+        "suite": "swapback",
+        "scale": BENCH_SCALE,
+        "ops": {},
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+    yield payload
+    RESULTS_DIR.mkdir(exist_ok=True)
+    SWAPBACK_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _fresh_backend(kind):
+    return build_swap_backend(
+        swap_backend_config(kind), clock=Clock(), disk=None,
+        swap_area=None, rng=DeterministicRng(1).fork("bench"))
+
+
+def _best_of(measure) -> dict:
+    best = None
+    for _ in range(ROUNDS):
+        elapsed, ops = measure()
+        per_op = elapsed / ops
+        if best is None or per_op < best["seconds_per_op"]:
+            best = {"seconds_per_op": per_op, "ops": ops,
+                    "round_seconds": elapsed}
+    return best
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+def test_bench_store(benchmark, swapback_payload, kind):
+    """Per-page store cost: fresh backend, one store per slot."""
+
+    def measure():
+        backend = _fresh_backend(kind)
+        store = backend.store
+        start = time.perf_counter()
+        for slot in range(OPS):
+            store(slot, 1)
+        return time.perf_counter() - start, OPS
+
+    result = run_once(benchmark, lambda: _best_of(measure))
+    swapback_payload["ops"][f"{kind}_store"] = result
+    assert result["seconds_per_op"] > 0
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+def test_bench_load(benchmark, swapback_payload, kind):
+    """Per-page load cost over a pre-populated backend."""
+
+    def measure():
+        backend = _fresh_backend(kind)
+        for slot in range(OPS):
+            backend.store(slot, 1)
+        load = backend.load
+        start = time.perf_counter()
+        for slot in range(OPS):
+            load(slot, 1)
+        return time.perf_counter() - start, OPS
+
+    result = run_once(benchmark, lambda: _best_of(measure))
+    swapback_payload["ops"][f"{kind}_load"] = result
+    assert result["seconds_per_op"] > 0

@@ -153,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject the standing chaos fault plan (deterministic, "
              "seeded from each experiment's machine seed)")
     run.add_argument(
+        "--swap-backend", default=None, metavar="KIND",
+        help="serve host swap from this backend instead of the shared "
+             "disk: ssd, nvme, zram (compressed RAM), remote "
+             "(disaggregated memory), or tiered (zram over ssd); "
+             "'disk' is the default paper-faithful path")
+    run.add_argument(
         "--timeout", type=_positive_float, default=None, metavar="SECONDS",
         help="per-cell wall-clock deadline; a cell past it is killed, "
              "retried, and eventually quarantined (selects the "
@@ -325,6 +331,7 @@ def _run_command(args: argparse.Namespace) -> int:
     from repro.exec.store import ResultStore
     from repro.faults.plan import StoreFaultConfig, set_default_fault_config
     from repro.profiling import set_profiling
+    from repro.swapback.base import set_default_swap_backend
     from repro.trace import set_tracing
 
     _validate_host_fault_rate(args.host_faults)
@@ -367,6 +374,10 @@ def _run_command(args: argparse.Namespace) -> int:
         if args.evac_deadline is not None:
             plan = replace(plan, evac_deadline=args.evac_deadline)
         set_default_fault_config(plan)
+    if args.swap_backend and args.swap_backend != "disk":
+        # Captured into every cell spec the sweeps build (like the
+        # fault plan above), so workers and cache keys both see it.
+        set_default_swap_backend(args.swap_backend)
     if args.paranoid:
         set_paranoid(True)
     if args.trace:
@@ -395,6 +406,7 @@ def _run_command(args: argparse.Namespace) -> int:
             print(f"[cell profiles written under {profile_dir}/]")
     finally:
         set_default_fault_config(None)
+        set_default_swap_backend(None)
         set_paranoid(False)
         set_tracing(None)
         set_profiling(None)

@@ -20,7 +20,12 @@ from __future__ import annotations
 import enum
 
 from repro.audit import InvariantAuditor, paranoid_enabled
-from repro.config import DiskConfig, HostNodeConfig, VmConfig
+from repro.config import (
+    DiskConfig,
+    HostNodeConfig,
+    SwapBackendConfig,
+    VmConfig,
+)
 from repro.disk.device import DiskDevice
 from repro.disk.geometry import DiskLayout
 from repro.disk.image import VirtualDiskImage
@@ -36,6 +41,8 @@ from repro.mem.page import AnonContent
 from repro.metrics.counters import Counters
 from repro.sim.engine import Engine
 from repro.sim.ops import WritePattern
+from repro.swapback.base import default_swap_backend
+from repro.swapback.factory import build_swap_backend
 from repro.trace.collector import NULL_TRACE
 from repro.units import mib_pages
 
@@ -44,10 +51,14 @@ def build_latency_model(cfg: DiskConfig) -> LatencyModel:
     """Instantiate the latency model the disk config asks for."""
     cfg.validate()
     if cfg.kind == "ssd":
+        # One SSD device model: the read/write latencies come from the
+        # swap-backend registry so the ablation disk profile and
+        # ``--swap-backend ssd`` can never drift apart.
+        ssd = SwapBackendConfig.ssd()
         return SsdLatencyModel(
             bandwidth_bytes_per_sec=cfg.bandwidth_bytes_per_sec,
-            read_latency=cfg.ssd_read_latency,
-            write_latency=cfg.ssd_write_latency,
+            read_latency=ssd.read_latency,
+            write_latency=ssd.write_latency,
         )
     return HddLatencyModel(
         bandwidth_bytes_per_sec=cfg.bandwidth_bytes_per_sec,
@@ -105,10 +116,15 @@ class Host:
             max_write_backlog=node.disk.max_write_backlog_seconds,
             faults=faults)
         self.frames = FramePool(node.host.total_memory_pages)
+        backend_cfg = (node.swap_backend if node.swap_backend is not None
+                       else default_swap_backend())
+        self.swapback = build_swap_backend(
+            backend_cfg, clock=engine.clock, disk=self.disk,
+            swap_area=self.swap_area, rng=rng, faults=faults)
         self.hypervisor = Hypervisor(
             engine.clock, self.disk, self.frames,
             self.swap_area, node.host, rng=rng.fork("hypervisor"),
-            faults=faults)
+            faults=faults, swapback=self.swapback)
         self.hypervisor.host_name = node.name
 
         self.vms: list[Vm] = []
@@ -124,6 +140,7 @@ class Host:
         self.trace = trace
         self.disk.trace = trace
         self.hypervisor.trace = trace
+        self.swapback.trace = trace
 
         #: Runtime invariant auditor; installed only under --paranoid
         #: (the ambient flag), so ordinary runs pay nothing.
@@ -177,8 +194,10 @@ class Host:
 
     @property
     def swap_pressure(self) -> float:
-        """Occupied fraction of the node's swap budget."""
-        return self.swap_area.budget_pressure
+        """Occupied fraction of the node's swap budget, or of the
+        backend's own capacity when that is tighter (a nearly-full
+        compressed tier is pressure even with slots to spare)."""
+        return max(self.swap_area.budget_pressure, self.swapback.pressure)
 
     @property
     def over_pressure(self) -> bool:

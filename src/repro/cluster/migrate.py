@@ -162,12 +162,12 @@ def teardown_vm_on_host(vm: Vm, host: Host, *,
         slot = vm.swap_slots.pop(gpa, None)
         if slot is not None:
             vm.pending_swap.pop(gpa, None)
-            host.swap_area.free(slot)
+            hyp.free_swap_slot(slot)
             hyp.slot_owner.pop(slot, None)
         slot = vm.swap_clean.pop(gpa, None)
         if slot is not None:
             hyp.slot_owner.pop(slot, None)
-            host.swap_area.free(slot)
+            hyp.free_swap_slot(slot)
     for index in sorted(vm.qemu.resident):
         host.frames.release(1)
         vm.scanner.note_evicted(code_key(index))

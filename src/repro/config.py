@@ -32,7 +32,12 @@ class HypervisorKind(enum.Enum):
 
 @dataclass(frozen=True)
 class DiskConfig:
-    """Physical disk characteristics (HDD by default, SSD for ablation)."""
+    """Physical disk characteristics (HDD by default, SSD for ablation).
+
+    SSD latency parameters live in the swap-backend registry
+    (:meth:`SwapBackendConfig.ssd`): ``kind="ssd"`` disks share the
+    registry's device model rather than carrying a private copy.
+    """
 
     kind: str = "hdd"
     bandwidth_bytes_per_sec: float = 120e6
@@ -46,15 +51,196 @@ class DiskConfig:
     #: Async writers stall until the device backlog drains below this
     #: (write-back / dirty throttling).
     max_write_backlog_seconds: float = 0.25
-    #: SSD-only parameters.
-    ssd_read_latency: float = 80e-6
-    ssd_write_latency: float = 250e-6
 
     def validate(self) -> None:
-        if self.kind not in ("hdd", "ssd"):
-            raise ConfigError(f"unknown disk kind: {self.kind!r}")
+        if self.kind not in DISK_KINDS:
+            raise ConfigError(
+                f"unknown disk kind: {self.kind!r}; expected one of "
+                f"{DISK_KINDS}")
         if self.bandwidth_bytes_per_sec <= 0:
             raise ConfigError("disk bandwidth must be positive")
+
+
+#: Disk kinds the device layer understands.  ``hdd`` uses the seek +
+#: rotation model; ``ssd`` reuses the swap-backend registry's SSD
+#: latency parameters (one model, shared with ``--swap-backend ssd``).
+DISK_KINDS = ("hdd", "ssd")
+
+
+@dataclass(frozen=True)
+class SwapBackendConfig:
+    """One swap destination: where host-swapped pages live and what a
+    store/load costs (ROADMAP item 3: which of the paper's root causes
+    survive when swap is 100x faster than a 7200 RPM disk).
+
+    A flat parameter record shared by every backend kind; each factory
+    below fills in the fields its device model reads and leaves the
+    rest at defaults.  ``kind="disk"`` (the default when no backend is
+    configured at all) routes swap through the host's own
+    :class:`DiskConfig` device, bit-identical to the pre-backend code.
+
+    Unit conventions: latencies and RTT are seconds, bandwidth is
+    bytes/second, and the compressed tier's ``capacity_pages`` counts
+    *uncompressed page equivalents* -- the tier holds
+    ``capacity_pages * PAGE_SIZE`` compressed bytes, so the number of
+    pages that actually fit depends on the drawn compression ratios.
+    """
+
+    kind: str = "disk"
+    # --- fixed-latency device models (ssd, nvme) ----------------------
+    #: Per-request read latency (device service floor, no seek).
+    read_latency: float = 80e-6
+    #: Per-request write latency (flash program / remote commit).
+    write_latency: float = 250e-6
+    bandwidth_bytes_per_sec: float = 450e6
+    #: Requests the device services concurrently (NVMe queue depth;
+    #: 1 = strictly serial like a SATA SSD).
+    queue_depth: int = 1
+    # --- capacity (tiering) -------------------------------------------
+    #: Slots this backend can hold, in uncompressed page equivalents
+    #: (None = unbounded).  For the compressed tier this is the
+    #: compressed-byte budget divided by PAGE_SIZE.
+    capacity_pages: int | None = None
+    # --- compressed-RAM tier (zram) -----------------------------------
+    #: Mean of the per-page compressed-size ratio draw...
+    compression_ratio_mean: float = 0.45
+    #: ...drawn uniformly within +/- this jitter, clipped to (0, 1].
+    compression_ratio_jitter: float = 0.20
+    #: CPU seconds to compress one page on store...
+    compress_page_cost: float = 2.5 * USEC
+    #: ...and to decompress it on load.
+    decompress_page_cost: float = 1.0 * USEC
+    # --- remote / disaggregated-memory tier ---------------------------
+    #: Network round-trip added to every remote request.
+    rtt: float = 5e-6
+    #: Uniform jitter as a fraction of the RTT, drawn per request from
+    #: the cell's RNG fork (0 = deterministic wire).
+    jitter_fraction: float = 0.0
+    # --- tiered composite ---------------------------------------------
+    fast: "SwapBackendConfig | None" = None
+    slow: "SwapBackendConfig | None" = None
+    #: Promote slow-tier pages to the fast tier when swapped back in.
+    promote_on_load: bool = True
+
+    def validate(self) -> None:
+        if self.kind not in SWAP_BACKEND_KINDS:
+            raise ConfigError(
+                f"unknown swap backend kind: {self.kind!r}; expected one "
+                f"of {tuple(SWAP_BACKEND_KINDS)}")
+        if self.read_latency < 0 or self.write_latency < 0:
+            raise ConfigError("swap backend latencies must be non-negative")
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ConfigError("swap backend bandwidth must be positive")
+        if self.queue_depth < 1:
+            raise ConfigError("swap backend queue_depth must be >= 1")
+        if self.capacity_pages is not None and self.capacity_pages < 0:
+            raise ConfigError("capacity_pages must be non-negative")
+        if not 0.0 < self.compression_ratio_mean <= 1.0:
+            raise ConfigError("compression_ratio_mean must be in (0, 1]")
+        if self.compression_ratio_jitter < 0:
+            raise ConfigError("compression_ratio_jitter must be >= 0")
+        if self.compress_page_cost < 0 or self.decompress_page_cost < 0:
+            raise ConfigError("compression CPU costs must be non-negative")
+        if self.rtt < 0:
+            raise ConfigError("rtt must be non-negative")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigError("jitter_fraction must be within [0, 1]")
+        if self.kind == "tiered":
+            if self.fast is None or self.slow is None:
+                raise ConfigError(
+                    "tiered backend needs both fast and slow tiers")
+            if "tiered" in (self.fast.kind, self.slow.kind):
+                raise ConfigError("tiers cannot nest another tiered backend")
+            if self.fast.capacity_pages is None:
+                raise ConfigError(
+                    "tiered fast tier needs a finite capacity_pages")
+            self.fast.validate()
+            self.slow.validate()
+        elif self.fast is not None or self.slow is not None:
+            raise ConfigError(
+                f"{self.kind!r} backend does not take fast/slow tiers")
+
+    @staticmethod
+    def disk() -> "SwapBackendConfig":
+        """Swap through the host disk (the paper's setup; the default)."""
+        return SwapBackendConfig(kind="disk")
+
+    @staticmethod
+    def ssd() -> "SwapBackendConfig":
+        """A dedicated SATA-class SSD swap device (serial queue).
+
+        The latency numbers here are *the* SSD parameters: the
+        ``kind="ssd"`` disk profile of the ablation experiment builds
+        its :class:`~repro.disk.latency.SsdLatencyModel` from them too.
+        """
+        return SwapBackendConfig(
+            kind="ssd", read_latency=80e-6, write_latency=250e-6,
+            bandwidth_bytes_per_sec=450e6, queue_depth=1)
+
+    @staticmethod
+    def nvme() -> "SwapBackendConfig":
+        """An NVMe swap device: lower fixed latency, deep queue."""
+        return SwapBackendConfig(
+            kind="nvme", read_latency=10e-6, write_latency=20e-6,
+            bandwidth_bytes_per_sec=3e9, queue_depth=32)
+
+    @staticmethod
+    def zram(capacity_pages: int | None = None) -> "SwapBackendConfig":
+        """A zswap/zram-style compressed-RAM tier."""
+        return SwapBackendConfig(kind="zram", capacity_pages=capacity_pages)
+
+    @staticmethod
+    def remote() -> "SwapBackendConfig":
+        """Disaggregated far memory over an RDMA-class fabric."""
+        return SwapBackendConfig(
+            kind="remote", rtt=5e-6, jitter_fraction=0.1,
+            bandwidth_bytes_per_sec=12.5e9, queue_depth=16)
+
+    @staticmethod
+    def tiered(fast: "SwapBackendConfig | None" = None,
+               slow: "SwapBackendConfig | None" = None,
+               capacity_pages: int = mib_pages(64),
+               ) -> "SwapBackendConfig":
+        """Fast tier backed by a slow spill tier (zram over SSD by
+        default, the common zswap deployment shape)."""
+        if fast is None:
+            fast = replace(SwapBackendConfig.zram(),
+                           capacity_pages=capacity_pages)
+        if slow is None:
+            slow = SwapBackendConfig.ssd()
+        return SwapBackendConfig(kind="tiered", fast=fast, slow=slow)
+
+
+#: Swap-backend kind -> zero-argument config factory.  The CLI's
+#: ``--swap-backend`` choices and the ``swaptier`` experiment's sweep
+#: both come from this table, so adding a backend is one entry here
+#: plus its device model in ``repro.swapback``.
+SWAP_BACKEND_KINDS: dict = {
+    "disk": SwapBackendConfig.disk,
+    "ssd": SwapBackendConfig.ssd,
+    "nvme": SwapBackendConfig.nvme,
+    "zram": SwapBackendConfig.zram,
+    "remote": SwapBackendConfig.remote,
+    "tiered": SwapBackendConfig.tiered,
+}
+
+
+def swap_backend_config(kind: str) -> SwapBackendConfig:
+    """Default :class:`SwapBackendConfig` for ``kind``.
+
+    Raises :class:`ConfigError` for unknown kinds (the typed error the
+    CLI surfaces for a bad ``--swap-backend``).
+    """
+    try:
+        factory = SWAP_BACKEND_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(SWAP_BACKEND_KINDS))
+        raise ConfigError(
+            f"unknown swap backend kind: {kind!r}; known: {known}"
+        ) from None
+    config = factory()
+    config.validate()
+    return config
 
 
 @dataclass(frozen=True)
@@ -282,6 +468,17 @@ class FaultConfig:
     #: Probability a swap slot's content fails its checksum on swap-in
     #: (unrecoverable: surfaces as HostError, never silent stale data).
     swap_slot_corruption_rate: float = 0.0
+    # --- swap backend tiers (repro.swapback) --------------------------
+    #: Probability one remote-memory swap request times out and is
+    #: internally retried after the timeout penalty...
+    remote_swap_timeout_rate: float = 0.0
+    #: ...of this many seconds (far-memory fabric hiccup).
+    remote_swap_timeout_seconds: float = 0.01
+    #: Probability a compressed-tier store stalls on pool pressure
+    #: (zsmalloc fragmentation / allocator contention)...
+    compressed_stall_rate: float = 0.0
+    #: ...costing this many seconds.
+    compressed_stall_seconds: float = 0.002
     # --- mapper --------------------------------------------------------
     #: Probability a freshly built page<->block association is forcibly
     #: invalidated (modelling lost trust per Section 4.1).
@@ -343,10 +540,16 @@ class FaultConfig:
                      "disk_torn_write_rate", "swap_read_error_rate",
                      "swap_slot_corruption_rate", "mapper_invalidation_rate",
                      "worker_kill_rate", "host_crash_rate",
-                     "host_degrade_rate", "migration_failure_rate"):
+                     "host_degrade_rate", "migration_failure_rate",
+                     "remote_swap_timeout_rate", "compressed_stall_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(f"{name} must be within [0, 1]: {rate}")
+        if self.remote_swap_timeout_seconds < 0:
+            raise ConfigError(
+                "remote_swap_timeout_seconds must be non-negative")
+        if self.compressed_stall_seconds < 0:
+            raise ConfigError("compressed_stall_seconds must be non-negative")
         if self.max_retries < 0:
             raise ConfigError("max_retries must be non-negative")
         if self.backoff_base < 0:
@@ -430,10 +633,16 @@ class HostNodeConfig:
     #: Fraction of the swap budget in use at which the node reports
     #: pressure and the cluster starts evacuating VMs.
     pressure_threshold: float = 0.9
+    #: Where this node's swapped pages go.  None = the node's own disk
+    #: (bit-identical to the pre-backend swap path); anything else
+    #: builds a ``repro.swapback`` device for the host.
+    swap_backend: SwapBackendConfig | None = None
 
     def validate(self) -> None:
         self.host.validate()
         self.disk.validate()
+        if self.swap_backend is not None:
+            self.swap_backend.validate()
         if not self.name:
             raise ConfigError("host node needs a name")
         if self.overcommit_ratio is not None and self.overcommit_ratio <= 0:
@@ -503,12 +712,17 @@ class MachineConfig:
     #: Fault-injection plan; None means no fault layer at all (not even
     #: watchdogs).  See :class:`FaultConfig`.
     faults: FaultConfig | None = None
+    #: Swap destination; None = the machine's own disk (bit-identical
+    #: to the pre-backend swap path).  See :class:`SwapBackendConfig`.
+    swap_backend: SwapBackendConfig | None = None
 
     def validate(self) -> None:
         self.host.validate()
         self.disk.validate()
         if self.faults is not None:
             self.faults.validate()
+        if self.swap_backend is not None:
+            self.swap_backend.validate()
 
     def as_cluster(self) -> ClusterConfig:
         """The equivalent cluster of one unbudgeted node.
@@ -521,7 +735,8 @@ class MachineConfig:
         return ClusterConfig(
             hosts=(HostNodeConfig(
                 name="host0", host=self.host, disk=self.disk,
-                swap_budget_pages=None),),
+                swap_budget_pages=None,
+                swap_backend=self.swap_backend),),
             seed=self.seed,
             faults=self.faults,
         )
@@ -541,6 +756,7 @@ def scaled_pages(pages: int, scale: int) -> int:
 __all__ = [
     "ClusterConfig",
     "ClusterMigrationConfig",
+    "DISK_KINDS",
     "DiskConfig",
     "FaultConfig",
     "GuestConfig",
@@ -550,8 +766,11 @@ __all__ = [
     "HypervisorKind",
     "MachineConfig",
     "PLACEMENT_POLICIES",
+    "SWAP_BACKEND_KINDS",
+    "SwapBackendConfig",
     "VSwapperConfig",
     "VmConfig",
     "replace",
     "scaled_pages",
+    "swap_backend_config",
 ]

@@ -116,3 +116,16 @@ class SsdLatencyModel:
             raise DiskError(f"non-positive transfer length: {nsectors}")
         del distance_sectors  # flash: position independent
         return self.read_latency + nsectors * SECTOR_SIZE / self.bandwidth
+
+    def service_time_write(self, distance_sectors: int,
+                           nsectors: int) -> float:
+        """Write service time: the flash program premium plus transfer.
+
+        ``DiskDevice`` itself charges reads and writes symmetrically
+        through :meth:`service_time`; the dedicated swap backends
+        (``repro.swapback``) use this method to apply the write premium.
+        """
+        if nsectors <= 0:
+            raise DiskError(f"non-positive transfer length: {nsectors}")
+        del distance_sectors
+        return self.write_latency + nsectors * SECTOR_SIZE / self.bandwidth

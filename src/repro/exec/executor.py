@@ -49,7 +49,8 @@ from repro.experiments.runner import (
 
 def execute_cell(spec: CellSpec) -> RunResult:
     """Run one cell, self-contained: resolve the harness's cell runner,
-    install the cell's fault plan, run, and freeze the result.
+    install the cell's fault plan and swap backend, run, and freeze the
+    result.
 
     This is the unit all executors (and worker processes) invoke; it
     must depend on nothing but the spec.
@@ -62,10 +63,16 @@ def execute_cell(spec: CellSpec) -> RunResult:
         set_default_fault_config,
     )
     from repro.profiling import profile_runner, profiling_dir
+    from repro.swapback.base import (
+        default_swap_backend,
+        set_default_swap_backend,
+    )
 
     runner = cell_runner(spec.experiment_id)
     ambient = default_fault_config()
+    ambient_backend = default_swap_backend()
     set_default_fault_config(faults_from_params(spec.faults))
+    set_default_swap_backend(spec.backend)
     try:
         if profiling_dir() is not None:
             result = profile_runner(runner, spec)
@@ -73,6 +80,7 @@ def execute_cell(spec: CellSpec) -> RunResult:
             result = runner(spec)
     finally:
         set_default_fault_config(ambient)
+        set_default_swap_backend(ambient_backend)
     if result.timeline is not None:
         # Gauges close over live VM state: not picklable, not JSON.
         result.timeline.freeze()

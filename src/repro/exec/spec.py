@@ -20,9 +20,10 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping, Sequence
 
-from repro.config import FaultConfig
+from repro.config import SWAP_BACKEND_KINDS, FaultConfig
 from repro.errors import ExperimentError
 from repro.faults.plan import default_fault_config
+from repro.swapback.base import default_swap_backend
 
 #: Bumped whenever CellSpec/RunResult semantics change such that old
 #: persisted results are no longer comparable to fresh runs.  Part of
@@ -70,6 +71,18 @@ def faults_from_params(params: Mapping | None) -> FaultConfig | None:
     return FaultConfig(**dict(params))
 
 
+def _ambient_backend_kind() -> str | None:
+    """Capture the CLI's ``--swap-backend`` choice at sweep-build time.
+
+    Mirrors how :func:`fault_params` folds the ambient fault plan into
+    cells: a sweep built under ``--swap-backend`` carries the backend
+    kind inside every cell, so worker processes rebuild the same device
+    and the cache key distinguishes the runs.
+    """
+    config = default_swap_backend()
+    return None if config is None else config.kind
+
+
 @dataclass(frozen=True)
 class CellSpec:
     """One independent simulation inside a sweep.
@@ -90,6 +103,11 @@ class CellSpec:
     #: None for a fault-free cell.  Part of the identity: a faulted run
     #: never shares a cache entry with a clean one.
     faults: dict | None = None
+    #: Swap-backend registry kind (``repro.config.SWAP_BACKEND_KINDS``)
+    #: or None for the default disk path.  Defaults to the ambient
+    #: ``--swap-backend`` choice; serialized only when set, so every
+    #: pre-backend cell keeps its exact cache key.
+    backend: str | None = field(default_factory=_ambient_backend_kind)
 
     def __post_init__(self) -> None:
         if not self.experiment_id:
@@ -98,13 +116,18 @@ class CellSpec:
             raise ExperimentError("cell spec needs a cell id")
         if self.scale < 1:
             raise ExperimentError(f"scale must be positive: {self.scale}")
+        if (self.backend is not None
+                and self.backend not in SWAP_BACKEND_KINDS):
+            raise ExperimentError(
+                f"cell {self.cell_id}: unknown swap backend "
+                f"{self.backend!r}")
         _check_json_value(self.params, f"cell {self.cell_id} params")
         if self.faults is not None:
             _check_json_value(self.faults, f"cell {self.cell_id} faults")
 
     def to_dict(self) -> dict:
         """Plain-data form (stable; feeds the content hash)."""
-        return {
+        doc = {
             "schema": SPEC_SCHEMA_VERSION,
             "experiment_id": self.experiment_id,
             "cell_id": self.cell_id,
@@ -114,6 +137,9 @@ class CellSpec:
             "params": self.params,
             "faults": self.faults,
         }
+        if self.backend is not None:
+            doc["backend"] = self.backend
+        return doc
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "CellSpec":
@@ -131,6 +157,7 @@ class CellSpec:
             params=dict(data.get("params") or {}),
             faults=(dict(data["faults"])
                     if data.get("faults") is not None else None),
+            backend=data.get("backend"),
         )
 
     def canonical_json(self) -> str:

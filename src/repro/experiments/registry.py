@@ -83,6 +83,11 @@ from repro.experiments.fig13_15 import (
 )
 from repro.experiments.runner import FigureResult, RunResult
 from repro.experiments.sec53 import build_sec53_sweep, run_sec53, sec53_cell
+from repro.experiments.swaptier import (
+    build_swaptier_sweep,
+    run_swaptier,
+    swaptier_cell,
+)
 from repro.experiments.sec54 import build_sec54_sweep, run_sec54, sec54_cell
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import build_table2_sweep, run_table2, table2_cell
@@ -173,6 +178,10 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
     "chaos": ExperimentDef(
         "chaos", "five configs under deterministic fault injection",
         run_chaos, build_chaos_sweep),
+    "swaptier": ExperimentDef(
+        "swaptier",
+        "root-cause counters per swap backend (ssd/nvme/zram/remote)",
+        run_swaptier, build_swaptier_sweep),
 }
 
 #: Experiments whose harness takes no ``scale`` parameter.
@@ -200,6 +209,7 @@ CELL_RUNNERS: dict[str, Callable[[CellSpec], RunResult]] = {
     "chaos": chaos_cell,
     "cluster": cluster_fleet_cell,
     "cluster-chaos": cluster_chaos_cell,
+    "swaptier": swaptier_cell,
 }
 
 

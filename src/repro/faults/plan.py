@@ -178,6 +178,9 @@ class FaultPlan:
         self._disk_rng = rng.fork("disk")
         self._swap_rng = rng.fork("swap")
         self._mapper_rng = rng.fork("mapper")
+        # Swap-backend tier faults draw from their own substream
+        # (fork() is pure, so adding it perturbs no existing schedule).
+        self._backend_rng = rng.fork("swapback")
 
     @property
     def enabled(self) -> bool:
@@ -232,6 +235,29 @@ class FaultPlan:
         if not self.enabled or not self.cfg.swap_slot_corruption_rate:
             return False
         return self._swap_rng.chance(self.cfg.swap_slot_corruption_rate)
+
+    # ------------------------------------------------------------------
+    # swap backend tiers (repro.swapback)
+    # ------------------------------------------------------------------
+
+    def remote_timeout(self) -> float:
+        """Timeout penalty injected into one remote-memory swap request
+        (0 = the request goes through cleanly).  The remote backend
+        absorbs the penalty as extra stall and retries internally."""
+        if not self.enabled or not self.cfg.remote_swap_timeout_rate:
+            return 0.0
+        if self._backend_rng.chance(self.cfg.remote_swap_timeout_rate):
+            return self.cfg.remote_swap_timeout_seconds
+        return 0.0
+
+    def compressed_stall(self) -> float:
+        """Pool-pressure stall injected into one compressed-tier store
+        (0 = no stall)."""
+        if not self.enabled or not self.cfg.compressed_stall_rate:
+            return 0.0
+        if self._backend_rng.chance(self.cfg.compressed_stall_rate):
+            return self.cfg.compressed_stall_seconds
+        return 0.0
 
     # ------------------------------------------------------------------
     # mapper

@@ -32,6 +32,7 @@ from repro.mem.page import ZERO, AnonContent, PageContent
 from repro.host.vm import CODE_KEY, Vm, code_key
 from repro.sim.clock import Clock
 from repro.sim.ops import WritePattern
+from repro.swapback.disk import DiskSwapBackend
 from repro.trace.collector import NULL_TRACE
 from repro.units import SECTORS_PER_PAGE
 
@@ -46,7 +47,7 @@ class Hypervisor:
 
     def __init__(self, clock: Clock, disk: DiskDevice, frames: FramePool,
                  swap_area: HostSwapArea, cfg: HostConfig,
-                 rng=None, faults=None) -> None:
+                 rng=None, faults=None, swapback=None) -> None:
         cfg.validate()
         self.clock = clock
         self.disk = disk
@@ -56,6 +57,13 @@ class Hypervisor:
         self.rng = rng
         #: Optional deterministic fault schedule (chaos layer).
         self.faults = faults
+        #: Where swapped pages go.  The default routes through the host
+        #: disk exactly as the pre-backend code did (bit-identical).
+        self.swapback = (swapback if swapback is not None
+                         else DiskSwapBackend(disk, swap_area))
+        #: Hot-path flag: only capacity-tracking backends need slot-free
+        #: notifications, so the default path pays one attribute check.
+        self._sb_tracks = self.swapback.tracks_slots
         self.vms: list[Vm] = []
         #: host swap slot -> (vm, gpa) owning its content.
         self.slot_owner: dict[int, tuple[Vm, int]] = {}
@@ -346,6 +354,8 @@ class Hypervisor:
             if slot is not None:
                 vm.pending_swap.pop(gpa, None)
                 self.swap_area.free(slot)
+                if self._sb_tracks:
+                    self.swapback.note_free(slot)
                 self.slot_owner.pop(slot, None)
             self._invalidate_swap_clean(vm, gpa)
             if vm.mapper is not None:
@@ -455,8 +465,7 @@ class Hypervisor:
         first = on_disk[0][0]
         last = on_disk[-1][0]
         nsectors = (last - first + 1) * SECTORS_PER_PAGE
-        stall = self._read_swap_with_retries(
-            vm, self.swap_area.sector_of(first), nsectors)
+        stall = self._read_swap_with_retries(vm, first, last - first + 1)
         self._charge_stall(vm, stall, context)
         vm.counters.disk_ops += 1
         vm.counters.swap_sectors_read += nsectors
@@ -486,6 +495,8 @@ class Hypervisor:
                     slot_owner[s] = (vm, g)
                 else:
                     self.swap_area.free(s)
+                    if self._sb_tracks:
+                        self.swapback.note_free(s)
             else:
                 # Readahead neighbour: parked in the host swap cache,
                 # clean, slot retained.  A guest touch promotes it; a
@@ -603,6 +614,8 @@ class Hypervisor:
         else:
             self.slot_owner.pop(slot, None)
             self.swap_area.free(slot)
+            if self._sb_tracks:
+                self.swapback.note_free(slot)
         # The page keeps its LRU position from swap-in arrival; the
         # accessed bit gives it its second chance.  Re-adding it here
         # would reset the list to access order and erase the ordering
@@ -769,9 +782,7 @@ class Hypervisor:
         self._issue_swap_write(vm, run_start, run_len)
 
     def _issue_swap_write(self, vm: Vm, first_slot: int, npages: int) -> None:
-        throttle = self.disk.write_async(
-            self.swap_area.sector_of(first_slot),
-            npages * SECTORS_PER_PAGE, region="host-swap")
+        throttle = self.swapback.store(first_slot, npages)
         if throttle:
             vm.costs.io(throttle)
         vm.counters.disk_ops += 1
@@ -783,6 +794,10 @@ class Hypervisor:
         del vm.swap_slots[gpa]
         self.slot_owner.pop(slot, None)
         self.swap_area.free(slot)
+        if self._sb_tracks:
+            # The flush never ran, so the backend never saw the slot;
+            # note_free tolerates that by contract.
+            self.swapback.note_free(slot)
 
     # ==================================================================
     # hypervisor code pages (false page anonymity)
@@ -870,18 +885,19 @@ class Hypervisor:
             vm.pending_swap.pop(gpa)
             self.slot_owner.pop(slot, None)
             self.swap_area.free(slot)
+            if self._sb_tracks:
+                self.swapback.note_free(slot)
             vm.counters.bump("swap_cache_hits")
         elif slot is not None:
             self.slot_owner.pop(slot, None)
-            sector = self.swap_area.sector_of(slot)
             if sync:
-                stall = self.disk.read(
-                    sector, SECTORS_PER_PAGE, region="host-swap")
+                stall = self.swapback.load(slot, 1)
                 self._charge_stall(vm, stall, context)
             else:
-                self.disk.read_async(
-                    sector, SECTORS_PER_PAGE, region="host-swap")
+                self.swapback.load_async(slot, 1)
             self.swap_area.free(slot)
+            if self._sb_tracks:
+                self.swapback.note_free(slot)
             vm.counters.disk_ops += 1
             vm.counters.swap_sectors_read += SECTORS_PER_PAGE
         elif mapper is not None and mapper.is_discarded(gpa):
@@ -912,6 +928,8 @@ class Hypervisor:
         if slot is not None:
             vm.pending_swap.pop(gpa, None)
             self.swap_area.free(slot)
+            if self._sb_tracks:
+                self.swapback.note_free(slot)
             self.slot_owner.pop(slot, None)
         self._invalidate_swap_clean(vm, gpa)
         mapper = vm.mapper
@@ -971,13 +989,23 @@ class Hypervisor:
         if slot is not None:
             self.slot_owner.pop(slot, None)
             self.swap_area.free(slot)
+            if self._sb_tracks:
+                self.swapback.note_free(slot)
+
+    def free_swap_slot(self, slot: int) -> None:
+        """Release one slot, notifying a capacity-tracking backend
+        (the teardown/migration path's counterpart of the inlined
+        reclaim-side frees)."""
+        self.swap_area.free(slot)
+        if self._sb_tracks:
+            self.swapback.note_free(slot)
 
     # ==================================================================
     # fault injection (chaos layer)
     # ==================================================================
 
-    def _read_swap_with_retries(self, vm: Vm, sector: int,
-                                nsectors: int) -> float:
+    def _read_swap_with_retries(self, vm: Vm, first_slot: int,
+                                npages: int) -> float:
         """Swap-in read surviving injected failures by re-reading.
 
         Each failed attempt costs the backoff wait plus a full re-read;
@@ -985,17 +1013,17 @@ class Hypervisor:
         guest never receives a page the host could not actually read.
         """
         plan = self.faults
-        stall = self.disk.read(sector, nsectors, region="host-swap")
+        stall = self.swapback.load(first_slot, npages)
         if plan is None or not plan.enabled:
             return stall
         attempt = 1
         while plan.swap_read_failure():
             if attempt > plan.max_retries:
                 raise HostError(
-                    f"swap read at sector {sector} failed after "
+                    f"swap read at slot {first_slot} failed after "
                     f"{attempt} attempts")
             stall += plan.retry_backoff(attempt)
-            stall += self.disk.read(sector, nsectors, region="host-swap")
+            stall += self.swapback.load(first_slot, npages)
             vm.counters.bump("swap_read_retries")
             plan.counters.bump("swap_read_retries")
             attempt += 1

@@ -1,0 +1,247 @@
+"""Dedicated swap devices: fixed-latency flash and remote memory.
+
+Unlike :class:`~repro.swapback.disk.DiskSwapBackend`, these devices do
+not share the host disk's head -- swap traffic stops competing with
+image and code reads, which is itself part of what "faster swap"
+means.  Service is position-independent (no seek, no rotation): a
+fixed per-request latency plus transfer time, served through a bounded
+queue of ``queue_depth`` concurrent requests.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.config import SwapBackendConfig
+from repro.disk.latency import SsdLatencyModel
+from repro.sim.clock import Clock
+from repro.units import PAGE_SIZE, SECTORS_PER_PAGE
+
+from repro.swapback.base import SwapBackend
+
+#: Async store backlog tolerated before the writer throttles (the same
+#: dirty-throttling horizon the disk device defaults to).
+DEFAULT_WRITE_BACKLOG = 0.25
+
+
+class QueuedBackend(SwapBackend):
+    """Shared service discipline: a depth-bounded completion queue.
+
+    A request entering a full queue starts when the earliest in-flight
+    request completes; with ``queue_depth=1`` this degenerates to the
+    strictly serial busy-until model a SATA device presents.
+    """
+
+    def __init__(self, clock: Clock, *, queue_depth: int,
+                 capacity_pages: int | None = None,
+                 max_write_backlog: float = DEFAULT_WRITE_BACKLOG) -> None:
+        super().__init__()
+        self.clock = clock
+        self.queue_depth = queue_depth
+        self.max_write_backlog = max_write_backlog
+        #: Min-heap of in-flight completion times.
+        self._inflight: list[float] = []
+        #: Optional page budget (a bounded fast tier); slot occupancy
+        #: is only tracked when the budget is finite.
+        self.capacity_pages = capacity_pages
+        self._held: set[int] = set()
+        self.tracks_slots = capacity_pages is not None
+
+    def _complete_at(self, service: float) -> float:
+        """Admit one request of ``service`` seconds; returns completion."""
+        now = self.clock.now
+        inflight = self._inflight
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        if len(inflight) >= self.queue_depth:
+            start = max(heapq.heappop(inflight), now)
+        else:
+            start = now
+        completion = start + service
+        heapq.heappush(inflight, completion)
+        return completion
+
+    # Per-page hooks for TieredBackend composition -------------------
+
+    def fits(self, slot: int) -> bool:
+        """Whether ``slot`` fits (always, unless a page budget is set)."""
+        if self.capacity_pages is None:
+            return True
+        return slot in self._held or len(self._held) < self.capacity_pages
+
+    def drop(self, slot: int) -> None:
+        if self.capacity_pages is not None:
+            self._held.discard(slot)
+
+    def note_free(self, slot: int) -> None:
+        self.drop(slot)
+
+    def _read_service(self, npages: int) -> float:
+        raise NotImplementedError
+
+    def _write_service(self, npages: int) -> float:
+        raise NotImplementedError
+
+    def store_page(self, slot: int) -> float:
+        """One-page store for the tiering policy (no trace, raw cost)."""
+        if self.capacity_pages is not None:
+            self._held.add(slot)
+        completion = self._complete_at(self._write_service(1))
+        throttle = max(0.0, completion - self.clock.now
+                       - self.max_write_backlog)
+        stats = self.stats
+        stats.stores += 1
+        stats.pages_stored += 1
+        stats.store_seconds += throttle
+        return throttle
+
+    def load_page(self, slot: int) -> float:
+        """One-page load for the tiering policy (no trace, raw cost)."""
+        completion = self._complete_at(self._read_service(1))
+        stall = completion - self.clock.now
+        stats = self.stats
+        stats.loads += 1
+        stats.pages_loaded += 1
+        stats.load_seconds += stall
+        return stall
+
+    # The run-level hypervisor contract ------------------------------
+
+    def store(self, first_slot: int, npages: int) -> float:
+        if self.capacity_pages is not None:
+            self._held.update(range(first_slot, first_slot + npages))
+        completion = self._complete_at(self._write_service(npages))
+        throttle = max(0.0, completion - self.clock.now
+                       - self.max_write_backlog)
+        stats = self.stats
+        stats.stores += 1
+        stats.pages_stored += npages
+        stats.store_seconds += throttle
+        if self.trace.enabled:
+            self.trace.emit("swapback.store", tier=self.kind,
+                            slot=first_slot, pages=npages,
+                            throttle=throttle)
+        return throttle
+
+    def load(self, first_slot: int, npages: int) -> float:
+        completion = self._complete_at(self._read_service(npages))
+        stall = completion - self.clock.now
+        stats = self.stats
+        stats.loads += 1
+        stats.pages_loaded += npages
+        stats.load_seconds += stall
+        if self.trace.enabled:
+            self.trace.emit("swapback.load", tier=self.kind,
+                            slot=first_slot, pages=npages, stall=stall)
+        return stall
+
+    def load_async(self, first_slot: int, npages: int) -> None:
+        self._complete_at(self._read_service(npages))
+        stats = self.stats
+        stats.loads += 1
+        stats.pages_loaded += npages
+        if self.trace.enabled:
+            self.trace.emit("swapback.load", tier=self.kind,
+                            slot=first_slot, pages=npages, stall=0.0)
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+
+    @property
+    def pressure(self) -> float:
+        if not self.capacity_pages:
+            return 0.0
+        return len(self._held) / self.capacity_pages
+
+    def occupancy(self) -> dict:
+        return {
+            "pages_held": len(self._held),
+            "capacity_pages": self.capacity_pages,
+        }
+
+
+class FlashBackend(QueuedBackend):
+    """SSD or NVMe swap device (``kind`` comes from the config).
+
+    Service times come from the shared
+    :class:`~repro.disk.latency.SsdLatencyModel` -- the same model the
+    ``kind="ssd"`` disk profile of the ablation experiment uses, so the
+    two paths cannot drift apart.
+    """
+
+    def __init__(self, clock: Clock, cfg: SwapBackendConfig) -> None:
+        super().__init__(clock, queue_depth=cfg.queue_depth,
+                         capacity_pages=cfg.capacity_pages)
+        self.kind = cfg.kind
+        self.cfg = cfg
+        self.model = SsdLatencyModel(
+            bandwidth_bytes_per_sec=cfg.bandwidth_bytes_per_sec,
+            read_latency=cfg.read_latency,
+            write_latency=cfg.write_latency)
+
+    def _read_service(self, npages: int) -> float:
+        return self.model.service_time(0, npages * SECTORS_PER_PAGE)
+
+    def _write_service(self, npages: int) -> float:
+        return self.model.service_time_write(0, npages * SECTORS_PER_PAGE)
+
+
+class RemoteBackend(QueuedBackend):
+    """Disaggregated far memory reached over a network fabric.
+
+    Service = RTT (optionally jittered from the cell's RNG fork) plus
+    transfer time.  Injected timeouts (``remote_swap_timeout_rate``)
+    are absorbed as extra stall -- the backend retries internally and
+    the guest just waits longer, mirroring how a reliable transport
+    hides fabric hiccups.
+    """
+
+    kind = "remote"
+
+    def __init__(self, clock: Clock, cfg: SwapBackendConfig, *,
+                 rng=None, faults=None) -> None:
+        super().__init__(clock, queue_depth=cfg.queue_depth,
+                         capacity_pages=cfg.capacity_pages)
+        self.cfg = cfg
+        #: Jitter substream (fork of the cell RNG; pure, so taking it
+        #: perturbs nothing else).
+        self.rng = rng
+        self.faults = faults
+
+    def _wire_time(self, npages: int) -> float:
+        cfg = self.cfg
+        rtt = cfg.rtt
+        if cfg.jitter_fraction and self.rng is not None:
+            rtt *= 1.0 + self.rng.uniform(-cfg.jitter_fraction,
+                                          cfg.jitter_fraction)
+        transfer = npages * PAGE_SIZE / cfg.bandwidth_bytes_per_sec
+        return rtt + transfer
+
+    def _read_service(self, npages: int) -> float:
+        return self._wire_time(npages)
+
+    def _write_service(self, npages: int) -> float:
+        return self._wire_time(npages)
+
+    def _timeout_penalty(self) -> float:
+        plan = self.faults
+        if plan is None:
+            return 0.0
+        penalty = plan.remote_timeout()
+        if penalty:
+            self.stats.remote_timeouts += 1
+            plan.counters.bump("remote_swap_timeouts")
+        return penalty
+
+    def store(self, first_slot: int, npages: int) -> float:
+        return super().store(first_slot, npages) + self._timeout_penalty()
+
+    def load(self, first_slot: int, npages: int) -> float:
+        return super().load(first_slot, npages) + self._timeout_penalty()
+
+    def store_page(self, slot: int) -> float:
+        return super().store_page(slot) + self._timeout_penalty()
+
+    def load_page(self, slot: int) -> float:
+        return super().load_page(slot) + self._timeout_penalty()

@@ -1,0 +1,58 @@
+"""The default backend: swap through the host's own disk.
+
+This is the paper's setup extracted behind the interface.  Every
+method reproduces the exact :class:`~repro.disk.device.DiskDevice`
+call the hypervisor used to make inline -- same sectors, same region
+tag, same call order -- so a host built with this backend is
+bit-identical to pre-backend builds (the fig9 golden fixture pins it).
+"""
+
+from __future__ import annotations
+
+from repro.disk.device import DiskDevice
+from repro.disk.swaparea import HostSwapArea
+from repro.units import SECTORS_PER_PAGE
+
+from repro.swapback.base import SwapBackend
+
+
+class DiskSwapBackend(SwapBackend):
+    """Swap slots live on the shared host disk ("host-swap" region)."""
+
+    kind = "disk"
+    tracks_slots = False
+
+    def __init__(self, disk: DiskDevice, swap_area: HostSwapArea) -> None:
+        super().__init__()
+        self.disk = disk
+        self.swap_area = swap_area
+
+    def store(self, first_slot: int, npages: int) -> float:
+        nsectors = npages * SECTORS_PER_PAGE
+        throttle = self.disk.write_async(
+            self.swap_area.sector_of(first_slot), nsectors,
+            region="host-swap")
+        stats = self.stats
+        stats.stores += 1
+        stats.pages_stored += npages
+        stats.store_seconds += throttle
+        return throttle
+
+    def load(self, first_slot: int, npages: int) -> float:
+        nsectors = npages * SECTORS_PER_PAGE
+        stall = self.disk.read(
+            self.swap_area.sector_of(first_slot), nsectors,
+            region="host-swap")
+        stats = self.stats
+        stats.loads += 1
+        stats.pages_loaded += npages
+        stats.load_seconds += stall
+        return stall
+
+    def load_async(self, first_slot: int, npages: int) -> None:
+        self.disk.read_async(
+            self.swap_area.sector_of(first_slot),
+            npages * SECTORS_PER_PAGE, region="host-swap")
+        stats = self.stats
+        stats.loads += 1
+        stats.pages_loaded += npages

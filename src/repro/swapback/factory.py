@@ -1,0 +1,45 @@
+"""Backend construction: config -> device instance."""
+
+from __future__ import annotations
+
+from repro.config import SwapBackendConfig
+from repro.errors import ConfigError
+
+from repro.swapback.base import SwapBackend
+from repro.swapback.devices import FlashBackend, RemoteBackend
+from repro.swapback.disk import DiskSwapBackend
+from repro.swapback.tiered import TieredBackend
+from repro.swapback.zram import CompressedBackend
+
+
+def build_swap_backend(cfg: SwapBackendConfig | None, *, clock, disk,
+                       swap_area, rng=None, faults=None) -> SwapBackend:
+    """Instantiate the backend ``cfg`` asks for.
+
+    ``cfg=None`` (or ``kind="disk"``) yields the default
+    :class:`DiskSwapBackend` over the host's own disk -- the
+    bit-identical pre-backend path.  ``rng`` is the owning host's RNG;
+    backends that need randomness take pure forks of it, so building
+    any backend perturbs no existing stream.
+    """
+    if cfg is None or cfg.kind == "disk":
+        return DiskSwapBackend(disk, swap_area)
+    cfg.validate()
+    if cfg.kind in ("ssd", "nvme"):
+        return FlashBackend(clock, cfg)
+    if cfg.kind == "zram":
+        return CompressedBackend(cfg, rng=rng, faults=faults)
+    if cfg.kind == "remote":
+        return RemoteBackend(
+            clock, cfg,
+            rng=rng.fork("swapback-remote") if rng is not None else None,
+            faults=faults)
+    if cfg.kind == "tiered":
+        fast = build_swap_backend(cfg.fast, clock=clock, disk=disk,
+                                  swap_area=swap_area, rng=rng,
+                                  faults=faults)
+        slow = build_swap_backend(cfg.slow, clock=clock, disk=disk,
+                                  swap_area=swap_area, rng=rng,
+                                  faults=faults)
+        return TieredBackend(cfg, fast, slow)
+    raise ConfigError(f"unknown swap backend kind: {cfg.kind!r}")

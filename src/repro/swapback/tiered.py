@@ -1,0 +1,161 @@
+"""Two-level tiered swap: a fast tier spilling into a slow one.
+
+Policy rules (the common zswap deployment shape):
+
+* **write-to-fast** -- every store lands in the fast tier when it
+  fits;
+* **spill-to-slow** -- when it does not, the *oldest* fast-tier
+  residents are demoted (read out of fast, written to slow) until it
+  does; a page that can never fit goes straight to slow;
+* **hot-page promotion** -- a slow-tier page that gets swapped back in
+  is promoted to the fast tier (``promote_on_load``), but only when it
+  fits without evicting anyone -- promotion must never trigger a
+  demotion cascade.
+
+Demotion order is FIFO over store order (a clock-less approximation of
+LRU: the hypervisor's own reclaim already sorts pages by coldness
+before they arrive here).  All policy state is keyed by slot, so with
+a fixed seed the tier residency of every page is reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.config import SwapBackendConfig
+
+from repro.swapback.base import SwapBackend
+
+
+class TieredBackend(SwapBackend):
+    """Composite backend delegating to a fast and a slow tier."""
+
+    kind = "tiered"
+    tracks_slots = True
+
+    def __init__(self, cfg: SwapBackendConfig, fast: SwapBackend,
+                 slow: SwapBackend) -> None:
+        super().__init__()
+        self.cfg = cfg
+        self.fast = fast
+        self.slow = slow
+        #: slot -> tier name ("fast" | "slow") for every stored slot.
+        self.tier_of: dict[int, str] = {}
+        #: Fast-tier residents in store order (FIFO demotion victims);
+        #: insertion-ordered dict used as an ordered set.
+        self._fast_order: dict[int, None] = {}
+
+    # ------------------------------------------------------------------
+    # policy
+    # ------------------------------------------------------------------
+
+    def _demote_until_fits(self, slot: int) -> float:
+        """Demote oldest fast residents until ``slot`` fits (or fast is
+        empty); returns the accumulated device cost."""
+        cost = 0.0
+        fast, slow = self.fast, self.slow
+        trace_on = self.trace.enabled
+        while self._fast_order and not fast.fits(slot):
+            victim = next(iter(self._fast_order))
+            del self._fast_order[victim]
+            cost += fast.load_page(victim)
+            fast.drop(victim)
+            cost += slow.store_page(victim)
+            self.tier_of[victim] = "slow"
+            self.stats.demotes += 1
+            if trace_on:
+                self.trace.emit("swapback.demote", tier="fast->slow",
+                                slot=victim)
+        return cost
+
+    def _store_one(self, slot: int) -> float:
+        cost = 0.0
+        fast = self.fast
+        if not fast.fits(slot):
+            cost += self._demote_until_fits(slot)
+        if fast.fits(slot):
+            cost += fast.store_page(slot)
+            self.tier_of[slot] = "fast"
+            self._fast_order[slot] = None
+        else:
+            # Even an empty fast tier cannot hold it: straight to slow.
+            cost += self.slow.store_page(slot)
+            self.tier_of[slot] = "slow"
+        return cost
+
+    def _promote(self, slot: int) -> float:
+        """Move a just-loaded slow-tier slot up; returns the write cost."""
+        cost = self.fast.store_page(slot)
+        self.slow.drop(slot)
+        self.tier_of[slot] = "fast"
+        self._fast_order[slot] = None
+        self.stats.promotes += 1
+        if self.trace.enabled:
+            self.trace.emit("swapback.promote", tier="slow->fast",
+                            slot=slot)
+        return cost
+
+    # ------------------------------------------------------------------
+    # the hypervisor contract
+    # ------------------------------------------------------------------
+
+    def store(self, first_slot: int, npages: int) -> float:
+        cost = 0.0
+        for slot in range(first_slot, first_slot + npages):
+            cost += self._store_one(slot)
+        stats = self.stats
+        stats.stores += 1
+        stats.pages_stored += npages
+        stats.store_seconds += cost
+        if self.trace.enabled:
+            self.trace.emit("swapback.store", tier=self.kind,
+                            slot=first_slot, pages=npages, throttle=cost)
+        return cost
+
+    def load(self, first_slot: int, npages: int) -> float:
+        cost = 0.0
+        tier_of = self.tier_of
+        promote = (self.cfg.promote_on_load
+                   if self.cfg is not None else True)
+        fast, slow = self.fast, self.slow
+        for slot in range(first_slot, first_slot + npages):
+            tier = tier_of.get(slot)
+            if tier is None:
+                continue  # hole in the spanning read: no data, no cost
+            if tier == "fast":
+                cost += fast.load_page(slot)
+            else:
+                cost += slow.load_page(slot)
+                if promote and fast.fits(slot):
+                    cost += self._promote(slot)
+        stats = self.stats
+        stats.loads += 1
+        stats.pages_loaded += npages
+        stats.load_seconds += cost
+        if self.trace.enabled:
+            self.trace.emit("swapback.load", tier=self.kind,
+                            slot=first_slot, pages=npages, stall=cost)
+        return cost
+
+    def note_free(self, slot: int) -> None:
+        tier = self.tier_of.pop(slot, None)
+        if tier == "fast":
+            self._fast_order.pop(slot, None)
+            self.fast.drop(slot)
+        elif tier == "slow":
+            self.slow.drop(slot)
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+
+    @property
+    def pressure(self) -> float:
+        """Fast-tier fill fraction: the spill imminence signal."""
+        return self.fast.pressure
+
+    def occupancy(self) -> dict:
+        return {
+            "fast": self.fast.occupancy(),
+            "slow": self.slow.occupancy(),
+            "fast_pages": len(self._fast_order),
+            "slow_pages": len(self.tier_of) - len(self._fast_order),
+        }

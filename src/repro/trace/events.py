@@ -20,6 +20,14 @@ kind                   emitted by / meaning
 ``balloon.unpin``      balloon deflation released pages (args: pages)
 ``disk.submit``        request queued at the device (args: sector, write)
 ``disk.complete``      the same request leaving the head (time = completion)
+``swapback.store``     non-disk backend absorbed a swap write-back run
+                       (args: tier, slot, pages, throttle)
+``swapback.load``      non-disk backend served a swap-in (args: tier,
+                       slot, pages, stall; 0.0 for async merge reads)
+``swapback.promote``   tiering policy pulled a hot page fast-ward
+                       (args: tier=``slow->fast``, slot)
+``swapback.demote``    tiering policy evicted a fast-tier page
+                       (args: tier=``fast->slow``, slot)
 ``preventer.emulate``  Preventer classified a whole-page overwrite
 ``preventer.merge``    an emulation buffer was merged back (args: sync)
 ``phase.mark``         workload phase boundary (args: name)

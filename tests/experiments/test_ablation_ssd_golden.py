@@ -1,0 +1,71 @@
+"""Golden regression fixture for the ablation-ssd cell runner.
+
+Satellite of the swap-backend refactor: the SSD latency numbers moved
+from ``DiskConfig`` into the ``SwapBackendConfig`` registry, and the
+ablation's disk profile now reads them from there.  This snapshot pins
+every ablation-ssd cell's observable outcome -- runtime, counters, and
+the ResultStore cache key -- so any drift between the shared
+``SsdLatencyModel`` users (the ablation disk profile and the
+``--swap-backend ssd`` device) shows up as a diff here.
+
+Regenerate after an *intentional* behaviour change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_ablation_ssd_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.exec.store import cell_key
+from repro.experiments.ablations import build_ssd_sweep, ssd_cell
+
+GOLDEN_SCALE = 8
+GOLDEN_PATH = (Path(__file__).parent / "data"
+               / "ablation_ssd_golden_scale8.json")
+
+
+def _snapshot_cell(spec) -> dict:
+    result = ssd_cell(spec)
+    return {
+        "cell_key": cell_key(spec),
+        "config": spec.config,
+        "disk_kind": spec.params["disk_kind"],
+        "runtime": result.runtime,
+        "crashed": result.crashed,
+        "counters": dict(sorted(result.counters.items())),
+    }
+
+
+def _current_snapshot() -> dict:
+    sweep = build_ssd_sweep(scale=GOLDEN_SCALE)
+    return {
+        "scale": GOLDEN_SCALE,
+        "cells": {spec.cell_id: _snapshot_cell(spec)
+                  for spec in sweep.cells},
+    }
+
+
+def test_ablation_ssd_matches_golden_snapshot():
+    current = _current_snapshot()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"golden snapshot missing; regenerate with REPRO_REGEN_GOLDEN=1 "
+        f"({GOLDEN_PATH})")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert current["scale"] == golden["scale"]
+    assert sorted(current["cells"]) == sorted(golden["cells"])
+    for cell_id, got in current["cells"].items():
+        want = golden["cells"][cell_id]
+        for field in sorted(set(want) | set(got)):
+            assert got.get(field) == want.get(field), (
+                f"{cell_id}: {field} diverged from the golden snapshot")

@@ -1,0 +1,255 @@
+"""Swap-backend devices: service models, capacity, faults, registry."""
+
+import pytest
+
+from repro.config import (
+    FaultConfig,
+    SwapBackendConfig,
+    swap_backend_config,
+)
+from repro.errors import ConfigError, DiskError
+from repro.faults.plan import FaultPlan
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+from repro.swapback.devices import FlashBackend, RemoteBackend
+from repro.swapback.factory import build_swap_backend
+from repro.swapback.zram import CompressedBackend
+from repro.units import PAGE_SIZE, SECTOR_SIZE, SECTORS_PER_PAGE
+
+
+# ----------------------------------------------------------------------
+# config registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_knows_every_kind():
+    for kind in ("disk", "ssd", "nvme", "zram", "remote", "tiered"):
+        cfg = swap_backend_config(kind)
+        assert cfg.kind == kind
+
+
+def test_unknown_kind_is_typed_config_error():
+    with pytest.raises(ConfigError, match="unknown swap backend kind"):
+        swap_backend_config("floppy")
+
+
+def test_unknown_disk_kind_is_typed_config_error():
+    from repro.config import DiskConfig
+    with pytest.raises(ConfigError, match="unknown disk kind"):
+        DiskConfig(kind="floppy").validate()
+
+
+def test_tiered_requires_both_tiers():
+    with pytest.raises(ConfigError):
+        SwapBackendConfig(kind="tiered").validate()
+
+
+def test_tiered_fast_tier_needs_finite_capacity():
+    cfg = SwapBackendConfig(
+        kind="tiered", fast=SwapBackendConfig.zram(),
+        slow=SwapBackendConfig.ssd())
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+def test_nested_tiered_rejected():
+    inner = SwapBackendConfig.tiered()
+    cfg = SwapBackendConfig(
+        kind="tiered", fast=inner, slow=SwapBackendConfig.ssd())
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+# ----------------------------------------------------------------------
+# flash queue model
+# ----------------------------------------------------------------------
+
+
+def test_flash_load_is_latency_plus_transfer():
+    clock = Clock()
+    backend = FlashBackend(clock, SwapBackendConfig.ssd())
+    cfg = backend.cfg
+    stall = backend.load(0, 4)
+    expected = (cfg.read_latency
+                + 4 * SECTORS_PER_PAGE * SECTOR_SIZE
+                / cfg.bandwidth_bytes_per_sec)
+    assert stall == pytest.approx(expected)
+    assert backend.stats.loads == 1
+    assert backend.stats.pages_loaded == 4
+
+
+def test_flash_store_absorbs_backlog_before_throttling():
+    clock = Clock()
+    backend = FlashBackend(clock, SwapBackendConfig.ssd())
+    # A single small write completes far inside the backlog horizon.
+    assert backend.store(0, 1) == 0.0
+    assert backend.stats.pages_stored == 1
+
+
+def test_serial_queue_serializes_requests():
+    clock = Clock()
+    cfg = SwapBackendConfig.ssd()  # queue_depth=1
+    backend = FlashBackend(clock, cfg)
+    one = backend.load(0, 1)
+    two = backend.load(1, 1)
+    # The second request waits for the first: its stall includes the
+    # first request's full service time.
+    assert two == pytest.approx(2 * one)
+
+
+def test_deep_queue_overlaps_requests():
+    clock = Clock()
+    backend = FlashBackend(clock, SwapBackendConfig.nvme())
+    stalls = [backend.load(slot, 1) for slot in range(8)]
+    # queue_depth=32: all eight requests run concurrently.
+    assert stalls == pytest.approx([stalls[0]] * 8)
+
+
+# ----------------------------------------------------------------------
+# compressed tier
+# ----------------------------------------------------------------------
+
+
+def _zram(capacity_pages=None, *, mean=0.45, jitter=0.20, rng=None):
+    cfg = SwapBackendConfig(
+        kind="zram", capacity_pages=capacity_pages,
+        compression_ratio_mean=mean, compression_ratio_jitter=jitter)
+    cfg.validate()
+    return CompressedBackend(cfg, rng=rng)
+
+
+def test_compressed_capacity_counts_compressed_bytes():
+    backend = _zram(capacity_pages=4, mean=0.5, jitter=0.0)
+    # Every page compresses 2:1, so 8 pages fit in a 4-page budget.
+    for slot in range(8):
+        assert backend.fits(slot)
+        backend.store_page(slot)
+    assert backend.used_bytes == 8 * (PAGE_SIZE // 2)
+    assert not backend.fits(8)
+    with pytest.raises(DiskError, match="compressed swap tier full"):
+        backend.store_page(8)
+
+
+def test_incompressible_page_fills_one_page_exactly():
+    # ratio 1.0 with no jitter: the degenerate page is stored verbatim
+    # and a 1-page tier holds exactly one of them.
+    backend = _zram(capacity_pages=1, mean=1.0, jitter=0.0)
+    assert backend.compressed_size(0) == PAGE_SIZE
+    backend.store_page(0)
+    assert backend.used_bytes == PAGE_SIZE
+    assert backend.pressure == 1.0
+    assert not backend.fits(1)
+    # Re-storing the resident slot is not growth; it still fits.
+    assert backend.fits(0)
+
+
+def test_compressed_ratio_is_pure_in_seed_and_slot():
+    rng = DeterministicRng(7)
+    one = _zram(rng=rng.fork("cell"))
+    two = _zram(rng=DeterministicRng(7).fork("cell"))
+    sizes_one = [one.compressed_size(s) for s in range(64)]
+    # Probe order must not matter.
+    sizes_two = [two.compressed_size(s) for s in reversed(range(64))]
+    assert sizes_one == list(reversed(sizes_two))
+
+
+def test_compressed_free_returns_bytes():
+    backend = _zram(capacity_pages=2, mean=1.0, jitter=0.0)
+    backend.store_page(0)
+    backend.store_page(1)
+    assert not backend.fits(2)
+    backend.note_free(0)
+    assert backend.fits(2)
+    backend.store_page(2)
+    assert backend.used_bytes == 2 * PAGE_SIZE
+
+
+def test_compressed_load_charges_cpu_and_skips_holes():
+    backend = _zram()
+    backend.store(0, 2)
+    stall = backend.load(0, 4)  # slots 2-3 were never stored
+    assert stall == pytest.approx(2 * backend.cfg.decompress_page_cost)
+    assert backend.stats.cpu_seconds > 0
+
+
+# ----------------------------------------------------------------------
+# remote tier and fault injection
+# ----------------------------------------------------------------------
+
+
+def test_remote_service_is_rtt_plus_transfer():
+    clock = Clock()
+    cfg = SwapBackendConfig(kind="remote", rtt=10e-6,
+                            jitter_fraction=0.0,
+                            bandwidth_bytes_per_sec=1e9,
+                            queue_depth=16)
+    backend = RemoteBackend(clock, cfg)
+    stall = backend.load(0, 2)
+    assert stall == pytest.approx(10e-6 + 2 * PAGE_SIZE / 1e9)
+
+
+def test_remote_jitter_is_deterministic_per_fork():
+    cfg = SwapBackendConfig.remote()
+    one = RemoteBackend(Clock(), cfg,
+                        rng=DeterministicRng(3).fork("swapback-remote"))
+    two = RemoteBackend(Clock(), cfg,
+                        rng=DeterministicRng(3).fork("swapback-remote"))
+    assert [one.load(s, 1) for s in range(16)] \
+        == [two.load(s, 1) for s in range(16)]
+
+
+def test_remote_timeout_injection_charges_and_counts():
+    fault_cfg = FaultConfig(enabled=True, remote_swap_timeout_rate=1.0,
+                            remote_swap_timeout_seconds=0.5)
+    plan = FaultPlan(fault_cfg, DeterministicRng(1))
+    backend = RemoteBackend(Clock(), SwapBackendConfig.remote(),
+                            faults=plan)
+    stall = backend.load(0, 1)
+    assert stall >= 0.5
+    assert backend.stats.remote_timeouts == 1
+    assert plan.counters.snapshot().get("remote_swap_timeouts") == 1
+
+
+def test_compressed_stall_injection_charges_and_counts():
+    fault_cfg = FaultConfig(enabled=True, compressed_stall_rate=1.0,
+                            compressed_stall_seconds=0.25)
+    plan = FaultPlan(fault_cfg, DeterministicRng(1))
+    cfg = SwapBackendConfig.zram()
+    backend = CompressedBackend(cfg, faults=plan)
+    stall = backend.store(0, 1)
+    assert stall >= 0.25
+    assert backend.stats.compressed_stalls == 1
+    assert plan.counters.snapshot().get("compressed_swap_stalls") == 1
+
+
+def test_disarmed_plan_draws_nothing():
+    plan = FaultPlan(FaultConfig(), DeterministicRng(1))
+    assert plan.remote_timeout() == 0.0
+    assert plan.compressed_stall() == 0.0
+
+
+# ----------------------------------------------------------------------
+# factory
+# ----------------------------------------------------------------------
+
+
+def test_factory_defaults_to_disk_backend():
+    from repro.swapback.disk import DiskSwapBackend
+    backend = build_swap_backend(None, clock=Clock(), disk=None,
+                                 swap_area=None)
+    assert isinstance(backend, DiskSwapBackend)
+
+
+def test_factory_builds_every_registered_kind():
+    rng = DeterministicRng(1)
+    for kind in ("ssd", "nvme", "zram", "remote", "tiered"):
+        backend = build_swap_backend(
+            swap_backend_config(kind), clock=Clock(), disk=None,
+            swap_area=None, rng=rng)
+        assert backend.kind == kind
+
+
+def test_factory_rejects_unknown_kind():
+    cfg = SwapBackendConfig(kind="floppy")
+    with pytest.raises(ConfigError):
+        build_swap_backend(cfg, clock=Clock(), disk=None, swap_area=None)

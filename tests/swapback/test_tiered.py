@@ -1,0 +1,125 @@
+"""Tiering policy: write-to-fast, FIFO spill, hot-page promotion."""
+
+import pytest
+
+from repro.config import SwapBackendConfig, swap_backend_config
+from repro.sim.clock import Clock
+from repro.sim.rng import DeterministicRng
+from repro.swapback.factory import build_swap_backend
+
+
+def _tiered(fast_capacity=4, *, promote_on_load=True, seed=1,
+            clock=None):
+    cfg = SwapBackendConfig(
+        kind="tiered",
+        fast=SwapBackendConfig.zram(capacity_pages=fast_capacity),
+        slow=SwapBackendConfig.ssd(),
+        promote_on_load=promote_on_load)
+    cfg.validate()
+    return build_swap_backend(cfg, clock=clock or Clock(), disk=None,
+                              swap_area=None,
+                              rng=DeterministicRng(seed).fork("host"))
+
+
+def test_stores_land_in_fast_tier_first():
+    backend = _tiered(fast_capacity=64)
+    backend.store(0, 4)
+    assert all(backend.tier_of[s] == "fast" for s in range(4))
+    assert backend.stats.demotes == 0
+
+
+def test_overflow_demotes_oldest_fast_residents():
+    # zram fast tier: 4-page compressed budget; with the default ~0.45
+    # ratio roughly 8 pages fit, so storing well past that must demote.
+    backend = _tiered(fast_capacity=4)
+    backend.store(0, 32)
+    assert backend.stats.demotes > 0
+    tiers = [backend.tier_of[s] for s in range(32)]
+    assert "slow" in tiers and "fast" in tiers
+    # FIFO policy: the demoted pages are the *oldest* stores, so the
+    # fast tier holds a suffix of the store order.
+    first_fast = tiers.index("fast")
+    assert all(t == "fast" for t in tiers[first_fast:])
+
+
+def test_load_promotes_hot_slow_pages():
+    backend = _tiered(fast_capacity=4)
+    backend.store(0, 32)
+    victim = next(s for s in range(32) if backend.tier_of[s] == "slow")
+    # Make room so promotion cannot need an eviction, then load.
+    for slot in list(backend._fast_order):
+        backend.note_free(slot)
+    backend.load(victim, 1)
+    assert backend.tier_of[victim] == "fast"
+    assert backend.stats.promotes == 1
+
+
+def test_promotion_never_evicts():
+    backend = _tiered(fast_capacity=4)
+    backend.store(0, 32)
+    demotes_before = backend.stats.demotes
+    victim = next(s for s in range(32) if backend.tier_of[s] == "slow")
+    backend.load(victim, 1)
+    # The fast tier was full, so the hot page stays slow rather than
+    # triggering a demotion cascade.
+    assert backend.stats.demotes == demotes_before
+    assert backend.tier_of[victim] == "slow"
+    assert backend.stats.promotes == 0
+
+
+def test_promote_on_load_can_be_disabled():
+    backend = _tiered(fast_capacity=4, promote_on_load=False)
+    backend.store(0, 32)
+    victim = next(s for s in range(32) if backend.tier_of[s] == "slow")
+    for slot in list(backend._fast_order):
+        backend.note_free(slot)
+    backend.load(victim, 1)
+    assert backend.tier_of[victim] == "slow"
+    assert backend.stats.promotes == 0
+
+
+def test_note_free_forgets_the_slot_everywhere():
+    backend = _tiered(fast_capacity=4)
+    backend.store(0, 32)
+    for slot in range(32):
+        backend.note_free(slot)
+    assert backend.tier_of == {}
+    assert backend._fast_order == {}
+    assert backend.fast.used_bytes == 0
+    assert backend.pressure == 0.0
+
+
+def test_tier_residency_is_deterministic_per_seed():
+    def residency(seed):
+        backend = _tiered(fast_capacity=4, seed=seed)
+        backend.store(0, 48)
+        for slot in (3, 17, 40):
+            backend.load(slot, 1)
+        return (dict(backend.tier_of), backend.stats.promotes,
+                backend.stats.demotes, backend.fast.used_bytes)
+
+    assert residency(5) == residency(5)
+
+
+def test_different_seed_changes_compressed_residency():
+    def residency(seed):
+        backend = _tiered(fast_capacity=4, seed=seed)
+        backend.store(0, 48)
+        return dict(backend.tier_of)
+
+    # Compression ratios are seeded, so a different cell seed may place
+    # the fast/slow boundary differently (not required to, but the two
+    # default seeds here do differ -- a tripwire that the seed actually
+    # reaches the ratio model).
+    assert residency(1) != residency(2)
+
+
+def test_default_tiered_config_builds_and_runs():
+    backend = build_swap_backend(
+        swap_backend_config("tiered"), clock=Clock(), disk=None,
+        swap_area=None, rng=DeterministicRng(1))
+    backend.store(0, 8)
+    stall = backend.load(0, 8)
+    assert stall >= 0.0
+    occ = backend.occupancy()
+    assert occ["fast_pages"] + occ["slow_pages"] == 8
